@@ -1,0 +1,133 @@
+"""BASE — context: buffering helps everything *except* fast-query hashing.
+
+One insert stream, every structure, two numbers each: amortized insert
+cost and average successful point-query cost.  This is the paper's
+Section 1 motivation as a table:
+
+* external stack/queue: O(1/b) per op (queries n/a),
+* buffer tree & LSM & log-method: o(1) inserts, multi-I/O queries,
+* B-tree: Θ(log_b n) on both sides (no buffering, ordered),
+* chaining hash table: ~1 I/O inserts but 1-I/O queries,
+* Theorem 2's buffered hash table: o(1) inserts *and* 1 + O(1/b^c)
+  queries — optimal per Theorem 1, and the only row in the bottom-left
+  quadrant.
+"""
+
+from __future__ import annotations
+
+from repro.em import make_context
+from repro.hashing.family import MULTIPLY_SHIFT
+from repro.baselines.btree import BTree
+from repro.baselines.buffer_tree import BufferTree
+from repro.baselines.lsm import LSMTree
+from repro.baselines.priority_queue import ExternalPriorityQueue
+from repro.baselines.stack_queue import ExternalQueue, ExternalStack
+from repro.core.buffered import BufferedHashTable
+from repro.core.config import BufferedParams
+from repro.core.logmethod import LogMethodHashTable
+from repro.tables.chaining import ChainedHashTable
+from repro.workloads.drivers import measure_table
+
+from conftest import emit, once
+
+B, M, N, U = 64, 1024, 6000, 2**40
+
+
+def ctx_factory():
+    return make_context(b=B, m=M, u=U)
+
+
+FACTORIES = {
+    "chaining-hash": lambda c: ChainedHashTable(
+        c, MULTIPLY_SHIFT.sample(c.u, 81), buckets=2 * N // B, max_load=None
+    ),
+    "buffered-hash (Thm2)": lambda c: BufferedHashTable(
+        c, MULTIPLY_SHIFT.sample(c.u, 81), params=BufferedParams(beta=4)
+    ),
+    "log-method (Lem5)": lambda c: LogMethodHashTable(
+        c, MULTIPLY_SHIFT.sample(c.u, 81)
+    ),
+    "lsm-tree": lambda c: LSMTree(c, gamma=4, memtable_items=128),
+    "buffer-tree": lambda c: BufferTree(c),
+    "b-tree": lambda c: BTree(c),
+}
+
+
+def dictionary_rows():
+    rows = []
+    for name, factory in FACTORIES.items():
+        m = measure_table(ctx_factory, factory, N, seed=82)
+        rows.append(
+            {
+                "structure": name,
+                "t_u (insert I/Os)": round(m.t_u, 4),
+                "t_q (query I/Os)": round(m.t_q, 4),
+            }
+        )
+    return rows
+
+
+def stack_queue_rows():
+    rows = []
+    ctx = ctx_factory()
+    st = ExternalStack(ctx)
+    for i in range(N):
+        st.push(i)
+    for _ in range(N):
+        st.pop()
+    rows.append({"structure": "external-stack", "t_u (insert I/Os)": round(ctx.io_total() / (2 * N), 4), "t_q (query I/Os)": "n/a"})
+    ctx = ctx_factory()
+    q = ExternalQueue(ctx)
+    for i in range(N):
+        q.enqueue(i)
+    for _ in range(N):
+        q.dequeue()
+    rows.append({"structure": "external-queue", "t_u (insert I/Os)": round(ctx.io_total() / (2 * N), 4), "t_q (query I/Os)": "n/a"})
+    ctx = ctx_factory()
+    pq = ExternalPriorityQueue(ctx)
+    for i in range(N):
+        pq.push((i * 2654435761) % (10**9))
+    for _ in range(N):
+        pq.pop_min()
+    rows.append({"structure": "external-pqueue", "t_u (insert I/Os)": round(ctx.io_total() / (2 * N), 4), "t_q (query I/Os)": "n/a"})
+    return rows
+
+
+def test_baseline_contrast(benchmark):
+    rows = once(benchmark, lambda: dictionary_rows() + stack_queue_rows())
+    emit("The power (and limit) of buffering, one workload", rows)
+    by_name = {r["structure"]: r for r in rows}
+
+    chain = by_name["chaining-hash"]
+    buffered = by_name["buffered-hash (Thm2)"]
+    btree = by_name["b-tree"]
+    buffer_tree = by_name["buffer-tree"]
+    lsm = by_name["lsm-tree"]
+
+    # The classic table: ~1-I/O inserts, ~1-I/O queries.
+    assert chain["t_u (insert I/Os)"] > 0.9
+    assert chain["t_q (query I/Os)"] < 1.1
+    # Buffered structures insert in o(1)...
+    for row in (buffered, lsm, buffer_tree):
+        assert row["t_u (insert I/Os)"] < 0.7, row
+    # ...but only Theorem 2's table keeps queries near one I/O.
+    assert buffered["t_q (query I/Os)"] < 1.35
+    assert lsm["t_q (query I/Os)"] > buffered["t_q (query I/Os)"]
+    assert buffer_tree["t_q (query I/Os)"] > buffered["t_q (query I/Os)"]
+    # The B-tree pays the ordered tax on both sides.
+    assert btree["t_u (insert I/Os)"] >= 0.9
+    assert btree["t_q (query I/Os)"] > 1.0
+    # Stack and queue: the purest buffering win.
+    assert by_name["external-stack"]["t_u (insert I/Os)"] < 3 / B
+    assert by_name["external-queue"]["t_u (insert I/Os)"] < 3 / B
+    # The priority queue needs merges, but stays far below 1 I/O per op.
+    assert by_name["external-pqueue"]["t_u (insert I/Os)"] < 0.25
+
+    benchmark.extra_info["buffered_tu"] = buffered["t_u (insert I/Os)"]
+    benchmark.extra_info["chain_tu"] = chain["t_u (insert I/Os)"]
+
+
+if __name__ == "__main__":
+    from repro.analysis.tradeoff_curves import format_rows
+
+    print(format_rows(dictionary_rows() + stack_queue_rows()))

@@ -1,0 +1,108 @@
+"""LEM34 — Lemmas 3 and 4: the bin-ball game's cost concentration.
+
+Simulates ``(s, p, t)`` games in both lemma regimes and reports the
+empirical failure probability of each lemma's bound next to its
+analytic tail, plus the optimal-vs-random adversary ablation the
+DESIGN.md calls out.
+
+Expected shape:
+
+* Lemma 3 regime (``sp ≤ 1/3``): cost concentrates at
+  ``≈ (1 − sp)s − t``; empirical failures below ``e^{−µ²s/3}``.
+* Lemma 4 regime (``sp = ω(1)``): even the optimal adversary keeps
+  ``≥ 1/(20p)`` bins; failures below ``2^{−Ω(s)}`` (i.e. none seen).
+* The optimal adversary's mean cost ≤ the random adversary's —
+  the exact greedy is the strongest opponent the proof must beat.
+"""
+
+from __future__ import annotations
+
+from repro.lowerbound.binball import (
+    GameParams,
+    lemma3_failure_probability,
+    lemma4_failure_probability,
+    play_many,
+)
+
+from conftest import emit, once
+
+TRIALS = 300
+MU = 0.15
+
+
+def lemma3_row(s: int, p: float, t: int):
+    params = GameParams(s=s, p=p, t=t)
+    assert params.lemma3_applies()
+    ens = play_many(params, TRIALS, seed=s)
+    bound = (1 - MU) * (1 - s * p) * s - t
+    return {
+        "regime": "lemma3",
+        "s": s,
+        "sp": round(s * p, 3),
+        "t": t,
+        "bound": round(bound, 1),
+        "mean_cost": round(ens.mean_cost, 1),
+        "emp_fail": ens.empirical_failure_probability(bound),
+        "analytic_fail": round(lemma3_failure_probability(s, MU), 6),
+    }
+
+
+def lemma4_row(s: int, p: float, t: int):
+    params = GameParams(s=s, p=p, t=t)
+    assert params.lemma4_applies()
+    ens = play_many(params, TRIALS, seed=s + 1)
+    bound = 1 / (20 * p)
+    return {
+        "regime": "lemma4",
+        "s": s,
+        "sp": round(s * p, 3),
+        "t": t,
+        "bound": round(bound, 1),
+        "mean_cost": round(ens.mean_cost, 1),
+        "emp_fail": ens.empirical_failure_probability(bound),
+        "analytic_fail": round(lemma4_failure_probability(s), 6),
+    }
+
+
+def build_rows():
+    rows = [
+        lemma3_row(300, 1 / 3000, 30),
+        lemma3_row(600, 1 / 6000, 60),
+        lemma3_row(1200, 1 / 3600, 0),
+        lemma4_row(800, 1 / 100, 300),
+        lemma4_row(1600, 1 / 200, 600),
+        lemma4_row(3200, 1 / 100, 1000),
+    ]
+    return rows
+
+
+def test_binball_lemmas(benchmark):
+    rows = once(benchmark, build_rows)
+    emit("Lemmas 3-4: bin-ball game, empirical vs analytic tails", rows)
+    for row in rows:
+        # The lemma bounds hold with at most a small-sample excess.
+        assert row["emp_fail"] <= row["analytic_fail"] + 2 / TRIALS, row
+        assert row["mean_cost"] >= row["bound"], row
+    benchmark.extra_info["rows"] = len(rows)
+
+
+def test_adversary_ablation(benchmark):
+    def ablate():
+        params = GameParams(s=1500, p=0.005, t=500)
+        opt = play_many(params, TRIALS, seed=9, adversary="optimal")
+        rand = play_many(params, TRIALS, seed=9, adversary="random")
+        return {"optimal": opt.mean_cost, "random": rand.mean_cost}
+
+    res = once(benchmark, ablate)
+    emit(
+        "Ablation: optimal (greedy-exact) vs random removal adversary",
+        [{"adversary": k, "mean_cost": round(v, 2)} for k, v in res.items()],
+    )
+    assert res["optimal"] <= res["random"]
+    benchmark.extra_info.update(res)
+
+
+if __name__ == "__main__":
+    from repro.analysis.tradeoff_curves import format_rows
+
+    print(format_rows(build_rows()))

@@ -1,0 +1,117 @@
+"""FIG1 — Figure 1: the query–insertion tradeoff plane.
+
+Regenerates the paper's only figure: the lower-bound envelope of
+Theorem 1 and the upper-bound envelope (standard table for ``c > 1``,
+Theorem 2's buffered table for ``c ≤ 1``), overlaid with *measured*
+points from the actual structures:
+
+* the standard chaining table — the ``t_q = 1 + 1/2^{Ω(b)}`` corner,
+* the buffered table at ``β = b^c`` for ``c ∈ {0.25, 0.5, 0.75}``,
+* the ε-insert instantiation at the ``c = 1`` boundary.
+
+Expected shape: measured points sit between the envelopes; insert cost
+collapses from ≈ 1 I/O to ``o(1)`` exactly as the query allowance
+crosses ``1 + Θ(1/b)``.
+"""
+
+from __future__ import annotations
+
+from repro.em import make_context
+from repro.hashing.family import MULTIPLY_SHIFT
+from repro.analysis.tradeoff_curves import render_figure1, tradeoff_table
+from repro.core.buffered import BufferedHashTable
+from repro.core.config import BufferedParams
+from repro.core.jensen_pagh import JensenPaghTable
+from repro.core.tradeoff import crossover_exponent, figure1_curves
+from repro.tables.chaining import ChainedHashTable
+from repro.workloads.drivers import measure_table
+
+from conftest import emit, once
+
+B, M, N, U = 64, 512, 6000, 2**40
+
+
+def ctx_factory():
+    return make_context(b=B, m=M, u=U)
+
+
+def chaining_factory(c):
+    return ChainedHashTable(
+        c, MULTIPLY_SHIFT.sample(c.u, 21), buckets=2 * N // B, max_load=None
+    )
+
+
+def buffered_factory(exponent):
+    def make(c):
+        return BufferedHashTable(
+            c,
+            MULTIPLY_SHIFT.sample(c.u, 21),
+            params=BufferedParams.for_query_exponent(B, exponent),
+        )
+
+    return make
+
+
+def epsilon_factory(c):
+    return BufferedHashTable(
+        c,
+        MULTIPLY_SHIFT.sample(c.u, 21),
+        params=BufferedParams.for_insert_budget(B, 0.5),
+    )
+
+
+def build_figure():
+    curves = figure1_curves(B, N, M)
+    std = measure_table(ctx_factory, chaining_factory, N, seed=1)
+    # The standard table realises any c > 1 target; plot it at c = 2.
+    curves.add_measured(2.0, std.t_q, std.t_u, "standard chaining")
+    for c in (0.25, 0.5, 0.75):
+        m = measure_table(ctx_factory, buffered_factory(c), N, seed=1)
+        curves.add_measured(c, m.t_q, m.t_u, f"buffered β=b^{c}")
+    eps = measure_table(ctx_factory, epsilon_factory, N, seed=1)
+    curves.add_measured(1.0, eps.t_q, eps.t_u, "buffered ε-insert")
+    # Jensen–Pagh [12]: queries 1 + O(1/√b) without buffering — the
+    # c = 0.5 point on the *unbuffered* frontier the paper improves on.
+    jp = measure_table(
+        ctx_factory,
+        lambda c: JensenPaghTable(c, MULTIPLY_SHIFT.sample(c.u, 21)),
+        N,
+        seed=1,
+    )
+    curves.add_measured(0.5, jp.t_q, jp.t_u, "Jensen-Pagh [12]")
+    return curves
+
+
+def test_figure1(benchmark):
+    curves = once(benchmark, build_figure)
+    print()
+    print(render_figure1(curves))
+    emit("Figure 1 data", curves.rows())
+
+    measured = {p.label: p for p in curves.measured}
+    std = measured["standard chaining"]
+    cheap = measured["buffered β=b^0.25"]
+    # The paper's jump: the standard table pays ~1 I/O per insert with a
+    # ~1-I/O query; allowing t_q = 1 + O(1/b^0.25) buys a ≥ 2x cheaper
+    # insert (asymptotically b^{0.75}x).
+    assert std.insert_cost > 0.9
+    assert std.query_cost < 1.05
+    assert cheap.insert_cost < std.insert_cost / 2
+    # Jensen–Pagh sits at the same query class as the c = 0.5 buffered
+    # point but pays ~1 I/O per insert — Theorem 2 strictly beats it.
+    jp = measured["Jensen-Pagh [12]"]
+    half = measured["buffered β=b^0.5"]
+    assert jp.insert_cost > 0.9
+    assert half.insert_cost < jp.insert_cost
+    # The theoretical envelopes put the crossover at c = 1.
+    x = crossover_exponent(curves, threshold=0.5)
+    assert x is not None and 0.8 <= x <= 1.3
+    benchmark.extra_info["crossover_c"] = x
+    benchmark.extra_info["std_tu"] = std.insert_cost
+    benchmark.extra_info["buffered_c025_tu"] = cheap.insert_cost
+
+
+if __name__ == "__main__":
+    curves = build_figure()
+    print(render_figure1(curves))
+    print(tradeoff_table(curves))

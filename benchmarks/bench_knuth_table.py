@@ -1,0 +1,122 @@
+"""KNUTH — the [13, §6.4] reference numbers the paper builds on.
+
+Two tables:
+
+1. The analytic grid: exact expected successful/unsuccessful lookup
+   costs and overflow probabilities for blocked chaining, as functions
+   of ``(b, α)`` — the ``1 + 1/2^{Ω(b)}`` numbers cited in Section 1.
+2. Measured vs analytic: drive real chaining and linear-probing tables
+   at matched load factors and compare the measured average successful
+   query cost to the analytic chaining value.
+
+Expected shape: measured chaining ≈ analytic to ~2 decimal places;
+linear probing within the same ``1 + 2^{−Ω(b)}`` class; the excess
+halves (at least) every time ``b`` doubles.
+"""
+
+from __future__ import annotations
+
+from repro.em import make_context
+from repro.hashing.family import MEMOISED_IDEAL
+from repro.analysis.knuth import (
+    expected_successful_cost,
+    knuth_table,
+    overflow_probability,
+)
+from repro.tables.chaining import ChainedHashTable
+from repro.tables.linear_probing import LinearProbingHashTable
+from repro.workloads.drivers import measure_query_cost
+from repro.workloads.generators import UniformKeys
+
+from conftest import emit, once
+
+U = 2**40
+
+
+def analytic_rows():
+    return [
+        {
+            "b": r.b,
+            "alpha": r.alpha,
+            "t_q_success": round(r.successful, 6),
+            "t_q_fail": round(r.unsuccessful, 6),
+            "overflow": f"{r.overflow:.2e}",
+        }
+        for r in knuth_table(b_values=[8, 16, 32, 64, 128], alphas=[0.5, 0.8, 0.95])
+    ]
+
+
+def measured_row(b: int, alpha: float, n: int = 4096):
+    d = max(1, round(n / (alpha * b)))
+    ctx = make_context(b=b, m=2 * d + 64, u=U)
+    h = MEMOISED_IDEAL.sample(ctx.u, seed=71)
+    t = ChainedHashTable(ctx, h, buckets=d, max_load=None)
+    keys = UniformKeys(ctx.u, seed=72).take(n)
+    t.insert_many(keys)
+    measured = measure_query_cost(t, keys, sample_size=2000, seed=73).mean
+    analytic = expected_successful_cost(alpha, b, n=n, d=d)
+    return {
+        "b": b,
+        "alpha": alpha,
+        "measured_t_q": round(measured, 4),
+        "analytic_t_q": round(analytic, 4),
+        "overflow_prob": f"{overflow_probability(alpha, b):.2e}",
+    }
+
+
+def test_knuth_analytic_table(benchmark):
+    rows = once(benchmark, analytic_rows)
+    emit("Knuth §6.4 analytic reference grid", rows)
+    # Excess decays (at least) exponentially in b at fixed α.
+    by_alpha: dict[float, list[float]] = {}
+    for r in rows:
+        by_alpha.setdefault(r["alpha"], []).append(r["t_q_success"] - 1)
+    for alpha, excesses in by_alpha.items():
+        for small, big in zip(excesses, excesses[1:]):
+            assert big <= small / 1.5 + 1e-12, (alpha, excesses)
+
+
+def test_knuth_measured_vs_analytic(benchmark):
+    def sweep():
+        return [
+            measured_row(16, 0.5),
+            measured_row(16, 0.8),
+            measured_row(32, 0.8),
+            measured_row(64, 0.8),
+        ]
+
+    rows = once(benchmark, sweep)
+    emit("Measured chaining vs analytic Knuth numbers", rows)
+    for row in rows:
+        assert abs(row["measured_t_q"] - row["analytic_t_q"]) < 0.05, row
+    benchmark.extra_info["max_gap"] = max(
+        abs(r["measured_t_q"] - r["analytic_t_q"]) for r in rows
+    )
+
+
+def test_linear_probing_same_class(benchmark):
+    """Linear probing also sits at 1 + 2^{−Ω(b)} for α away from 1."""
+
+    def run():
+        ctx = make_context(b=32, m=1024, u=U)
+        h = MEMOISED_IDEAL.sample(ctx.u, seed=74)
+        t = LinearProbingHashTable(ctx, h)
+        keys = UniformKeys(ctx.u, seed=75).take(4000)
+        t.insert_many(keys)
+        return measure_query_cost(t, keys, sample_size=1500, seed=76).mean
+
+    tq = once(benchmark, run)
+    emit(
+        "Linear probing successful-lookup cost (b=32)",
+        [{"table": "linear-probing", "t_q": round(tq, 4)}],
+    )
+    assert tq < 1.2
+    benchmark.extra_info["t_q"] = tq
+
+
+if __name__ == "__main__":
+    from repro.analysis.tradeoff_curves import format_rows
+
+    print(format_rows(analytic_rows()))
+    print()
+    print(format_rows([measured_row(16, 0.8), measured_row(64, 0.8)]))

@@ -1,0 +1,76 @@
+"""LEM2 — Lemma 2: bad address functions blow up the slow zone.
+
+Plants characteristic vectors of varying badness (bad-area mass λ_f)
+and measures, under uniform inserts, how many items are forced out of
+the fast zone — the executable content of Lemma 2's claim that a table
+answering queries in ``1 + δ`` must be using a good function.
+
+For a planted f with bad mass λ on ``hot`` indices, ``≈ λk`` of ``k``
+items land in the bad area but only ``b · hot`` fit in its fast zone;
+the rest are slow.  Expected shape: slow-zone size grows linearly in
+λ_f once ``λk`` clears the bad area's capacity, crossing the
+inequality-(1) budget ``m + δk`` exactly where the lemma says bad
+functions die.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lowerbound.charvec import planted_bad_vector, from_counts
+
+from conftest import emit, once
+
+# D·B must comfortably exceed K so the *uniform* function keeps almost
+# everything fast — otherwise every function looks bad.
+B, D, K, M = 16, 2048, 20_000, 256
+DELTA = 1 / B
+HOT = 4
+
+
+def run_lambda(lam: float):
+    """Simulate k uniform items addressed by a planted-λ function."""
+    rng = np.random.default_rng(int(lam * 1000) + 7)
+    if lam == 0.0:
+        vec = from_counts(np.ones(D))
+    else:
+        vec = planted_bad_vector(D, hot_indices=HOT, hot_mass=lam)
+    # Throw k items into the D indices with the vector's probabilities.
+    counts = rng.multinomial(K, vec.alphas)
+    # Fast zone: each index's block holds ≤ b items; memory absorbs m.
+    fast = int(np.minimum(counts, B).sum())
+    overflow = K - fast
+    slow = max(0, overflow - M)
+    budget = M + DELTA * K
+    return {
+        "lambda_f": lam,
+        "bad_area_items": int(counts[:HOT].sum()) if lam > 0 else 0,
+        "slow_zone": slow,
+        "budget_m_plus_dk": round(budget, 1),
+        "violates_query_claim": slow > budget,
+    }
+
+
+def test_lemma2(benchmark):
+    lams = (0.0, 0.05, 0.1, 0.2, 0.4, 0.8)
+    rows = once(benchmark, lambda: [run_lambda(l) for l in lams])
+    emit("Lemma 2: slow zone vs bad-function mass λ_f", rows)
+
+    # Good functions obey inequality (1); decisively bad ones cannot.
+    assert rows[0]["violates_query_claim"] is False
+    assert rows[-1]["violates_query_claim"] is True
+    # Slow zone grows monotonically in λ_f.
+    slows = [r["slow_zone"] for r in rows]
+    assert slows == sorted(slows)
+    # The crossover happens where λK first clears the bad-area capacity
+    # + memory + δK ≈ (b·HOT + M + δK)/K ≈ 4.4% + ... — i.e. between
+    # λ = 0.05 and λ = 0.8 at these parameters.
+    flips = [r["lambda_f"] for r in rows if r["violates_query_claim"]]
+    benchmark.extra_info["first_violating_lambda"] = flips[0]
+    assert 0.05 <= flips[0] <= 0.4
+
+
+if __name__ == "__main__":
+    from repro.analysis.tradeoff_curves import format_rows
+
+    print(format_rows([run_lambda(l) for l in (0.0, 0.05, 0.1, 0.2, 0.4, 0.8)]))

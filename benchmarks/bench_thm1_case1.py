@@ -1,0 +1,70 @@
+"""T1.1 — Theorem 1 case 1: ``t_q ≤ 1 + O(1/b^c)``, ``c > 1`` ⇒
+``t_u ≥ 1 − O(1/b^{(c−1)/4})``.
+
+Runs the Section 2 round adversary against the standard chaining table
+(which meets the case-1 query target) for ``c ∈ {1.25, 1.5, 2}`` and
+reports, per exponent:
+
+* the proof's closed-form amortized bound (leading order),
+* the *certified* per-insert lower bound ``Z/s`` measured from the
+  table's own layout (distinct fast-zone addresses per round), and
+* the table's actual amortized insertion cost.
+
+Expected shape: certified ≈ actual ≈ 1 I/O — the memory buffer buys
+essentially nothing once queries must be this fast.
+"""
+
+from __future__ import annotations
+
+from repro.em import make_context
+from repro.hashing.family import MEMOISED_IDEAL
+from repro.core.config import LowerBoundParams, insertion_lower_bound
+from repro.lowerbound.adversary import run_adversary
+from repro.tables.chaining import ChainedHashTable
+
+from conftest import emit, once
+
+B, N, U = 16, 4000, 2**40
+
+
+def run_case(c: float):
+    ctx = make_context(b=B, m=2 * N + 64, u=U)
+    h = MEMOISED_IDEAL.sample(ctx.u, seed=31)
+    # Fixed-capacity table sized so nearly every item is one I/O away
+    # (load ≈ 1/4) — the hash table the case-1 target forces.
+    table = ChainedHashTable(ctx, h, buckets=N // 4, max_load=None)
+    params = LowerBoundParams.case1(B, N, c)
+    # The paper's asymptotic round size collapses at toy scale; keep the
+    # proof's structure with a round size that yields ≥ 6 rounds.
+    params = LowerBoundParams(
+        delta=params.delta, phi=max(params.phi, 0.05), rho=1 / (N // 4),
+        s=max(params.s, N // 10), case=1,
+    )
+    report = run_adversary(table, ctx, params, N, seed=int(c * 100))
+    return {
+        "c": c,
+        "t_u_bound": round(insertion_lower_bound(B, c), 4),
+        "t_u_certified": round(report.certified_tu, 4),
+        "t_u_actual": round(report.measured_tu, 4),
+        "rounds": len(report.rounds),
+        "mean_query_lb": round(report.mean_query_lb, 4),
+    }
+
+
+def test_theorem1_case1(benchmark):
+    rows = once(benchmark, lambda: [run_case(c) for c in (1.25, 1.5, 2.0)])
+    emit("Theorem 1 case 1 (buffering is useless for c > 1)", rows)
+    for row in rows:
+        # The proof's accounting captures ≥ 70% of each insert even at
+        # toy scale, and the table really pays ≈ 1 I/O per insert.
+        assert row["t_u_certified"] > 0.7, row
+        assert row["t_u_actual"] > 0.9, row
+        # Certified never exceeds actual (it is a lower bound).
+        assert row["t_u_certified"] <= row["t_u_actual"] + 1e-9, row
+        benchmark.extra_info[f"certified_c{row['c']}"] = row["t_u_certified"]
+
+
+if __name__ == "__main__":
+    from repro.analysis.tradeoff_curves import format_rows
+
+    print(format_rows([run_case(c) for c in (1.25, 1.5, 2.0)]))

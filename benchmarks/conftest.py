@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the rows/series of the paper artifact it
+reproduces (run with ``pytest benchmarks/ --benchmark-only -s`` to see
+them), records the headline numbers in ``benchmark.extra_info`` so they
+land in the pytest-benchmark JSON, and asserts the *shape* the paper
+predicts — who wins, by roughly what factor, where the crossover falls.
+
+Scales are chosen so the whole harness finishes in minutes on a laptop:
+the measured quantity is an exact I/O count, not wall time, so small
+``n`` loses precision only through load-factor granularity, not noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tradeoff_curves import format_rows
+
+
+def emit(title: str, rows, *, columns=None) -> None:
+    """Print one reproduced table with a header banner."""
+    print()
+    print(f"== {title} ==")
+    print(format_rows(rows, columns=columns))
+
+
+@pytest.fixture
+def table_printer():
+    return emit
+
+
+def once(benchmark, fn):
+    """Run a deterministic measurement exactly once under pytest-benchmark.
+
+    I/O counts don't fluctuate, so a single round both keeps the harness
+    fast and records a wall-time datapoint for regression tracking.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

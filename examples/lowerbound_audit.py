@@ -1,0 +1,89 @@
+"""Auditing a hash table with the paper's lower-bound machinery.
+
+The Section 2 proof works by decomposing any table's layout into the
+memory / fast / slow zones and certifying, round by round, how many
+distinct blocks the insertions *must* have touched.  The same
+machinery doubles as a diagnostic for real structures: this example
+audits three tables and prints
+
+* the zone decomposition and the layout's query-cost floor,
+* inequality (1) head-room (``m + δk − |S|``),
+* the round-adversary certificate versus actual insertion cost.
+
+A table claiming fast queries but showing a fat slow zone is lying;
+a table with a fat slow zone claiming cheap inserts is the tradeoff
+working as Theorem 1 predicts.
+
+Run:  python examples/lowerbound_audit.py
+"""
+
+from __future__ import annotations
+
+from repro.em import make_context
+from repro.hashing.family import MEMOISED_IDEAL
+from repro.analysis.tradeoff_curves import format_rows
+from repro.core.buffered import BufferedHashTable
+from repro.core.config import BufferedParams, LowerBoundParams
+from repro.core.logmethod import LogMethodHashTable
+from repro.lowerbound.adversary import run_adversary
+from repro.lowerbound.zones import decompose
+from repro.tables.chaining import ChainedHashTable
+
+# m must be far below n or every table degenerates to a memory buffer.
+B, M, N, U = 32, 1100, 4000, 2**40
+DELTA = 1 / B  # audit against the query claim t_q <= 1 + 1/b
+
+
+def audit(name, factory):
+    ctx = make_context(b=B, m=M, u=U)
+    table = factory(ctx)
+    params = LowerBoundParams(
+        delta=DELTA, phi=0.1, rho=1 / 1024, s=max(100, N // 10), case=2
+    )
+    report = run_adversary(table, ctx, params, N, seed=21)
+    z = decompose(table.layout_snapshot())
+    return {
+        "table": name,
+        "memory": len(z.memory),
+        "fast": len(z.fast),
+        "slow": len(z.slow),
+        "query_floor": round(z.query_cost_lower_bound(), 3),
+        "ineq1_headroom": round(z.slow_budget(M, DELTA), 1),
+        "certified t_u": round(report.certified_tu, 3),
+        "actual t_u": round(report.measured_tu, 3),
+    }
+
+
+def main() -> None:
+    rows = [
+        audit(
+            "chaining",
+            lambda c: ChainedHashTable(
+                c, MEMOISED_IDEAL.sample(c.u, 3), buckets=1024, max_load=None
+            ),
+        ),
+        audit(
+            "buffered (Thm2)",
+            lambda c: BufferedHashTable(
+                c, MEMOISED_IDEAL.sample(c.u, 3), params=BufferedParams(beta=8)
+            ),
+        ),
+        audit(
+            "log-method (Lem5)",
+            lambda c: LogMethodHashTable(c, MEMOISED_IDEAL.sample(c.u, 3)),
+        ),
+    ]
+    print(format_rows(rows))
+    print()
+    print("Reading the audit:")
+    print(" * chaining: near-empty slow zone (queries ~1 I/O) and the round")
+    print("   certificate pins its insert cost near 1 — Theorem 1 case 2.")
+    print(" * buffered: a small slow zone (the <= 1/beta recent items),")
+    print("   inequality (1) satisfied, and a small certificate — this table")
+    print("   lives on the other side of the tradeoff.")
+    print(" * log-method: a fat slow zone — it never claimed 1-I/O queries,")
+    print("   so cheap inserts don't contradict anything.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Tradeoff explorer: draw your own Figure 1.
+
+Sweeps the query exponent ``c`` (query target ``t_q = 1 + 1/b^c``),
+measures the Theorem 2 table at each achievable point, overlays the
+theoretical envelopes of Theorem 1, and prints the ASCII tradeoff
+plane plus the data table.
+
+Flags let you change the model geometry:
+
+    python examples/tradeoff_explorer.py --b 128 --n 20000 --m 1024
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.em import make_context
+from repro.hashing.family import MULTIPLY_SHIFT
+from repro.analysis.tradeoff_curves import render_figure1, tradeoff_table
+from repro.core.buffered import BufferedHashTable
+from repro.core.config import BufferedParams
+from repro.core.tradeoff import figure1_curves
+from repro.tables.chaining import ChainedHashTable
+from repro.workloads.drivers import measure_table
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--b", type=int, default=64, help="words per block")
+    ap.add_argument("--m", type=int, default=512, help="words of memory")
+    ap.add_argument("--n", type=int, default=6000, help="keys to insert")
+    ap.add_argument(
+        "--exponents",
+        type=float,
+        nargs="+",
+        default=[0.25, 0.5, 0.75],
+        help="query exponents c (< 1) to measure the buffered table at",
+    )
+    args = ap.parse_args()
+
+    def ctx_factory():
+        return make_context(b=args.b, m=args.m, u=2**40)
+
+    curves = figure1_curves(args.b, args.n, args.m)
+
+    # The standard table anchors the c > 1 corner.
+    std = measure_table(
+        ctx_factory,
+        lambda c: ChainedHashTable(
+            c,
+            MULTIPLY_SHIFT.sample(c.u, 7),
+            buckets=max(16, 2 * args.n // args.b),
+            max_load=None,
+        ),
+        args.n,
+        seed=1,
+    )
+    curves.add_measured(2.0, std.t_q, std.t_u, "standard chaining")
+
+    for c in args.exponents:
+        m = measure_table(
+            ctx_factory,
+            lambda ctx, c=c: BufferedHashTable(
+                ctx,
+                MULTIPLY_SHIFT.sample(ctx.u, 7),
+                params=BufferedParams.for_query_exponent(args.b, c),
+            ),
+            args.n,
+            seed=1,
+        )
+        curves.add_measured(c, m.t_q, m.t_u, f"buffered c={c}")
+        print(f"measured c={c}: t_q={m.t_q:.4f}, t_u={m.t_u:.4f}")
+
+    print()
+    print(render_figure1(curves))
+    print()
+    print(tradeoff_table(curves))
+
+
+if __name__ == "__main__":
+    main()

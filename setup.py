@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment has no ``wheel`` package, so PEP-517 editable
+installs (which build a wheel) fail.  With this shim present,
+``pip install -e . --no-build-isolation`` falls back to
+``setup.py develop``, which needs only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

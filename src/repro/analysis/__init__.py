@@ -1,0 +1,46 @@
+"""Analytic companions to the experiments.
+
+* :mod:`repro.analysis.knuth` — exact query-cost numerics for blocked
+  hash tables (the Knuth [13, §6.4] numbers the paper leans on).
+* :mod:`repro.analysis.concentration` — the Chernoff/union-bound
+  machinery of Section 2, as evaluable functions.
+* :mod:`repro.analysis.tradeoff_curves` — Figure 1 as data + ASCII art.
+"""
+
+from .concentration import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    lemma2_failure_probability,
+    lemma3_failure_probability,
+    lemma4_failure_probability,
+    log2_family_size,
+    union_bound,
+)
+from .knuth import (
+    expected_chain_blocks,
+    expected_successful_cost,
+    expected_unsuccessful_cost,
+    knuth_table,
+    overflow_probability,
+    poisson_bucket_pmf,
+)
+from .tradeoff_curves import format_rows, render_figure1, tradeoff_table
+
+__all__ = [
+    "chernoff_lower_tail",
+    "chernoff_upper_tail",
+    "lemma2_failure_probability",
+    "lemma3_failure_probability",
+    "lemma4_failure_probability",
+    "log2_family_size",
+    "union_bound",
+    "expected_chain_blocks",
+    "expected_successful_cost",
+    "expected_unsuccessful_cost",
+    "knuth_table",
+    "overflow_probability",
+    "poisson_bucket_pmf",
+    "format_rows",
+    "render_figure1",
+    "tradeoff_table",
+]

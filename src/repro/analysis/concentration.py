@@ -1,0 +1,198 @@
+"""The concentration inequalities of Section 2, as evaluable functions.
+
+The lower-bound proof composes four probabilistic ingredients:
+
+1. a multiplicative Chernoff bound on how many of the ``k`` inserted
+   items land in a bad function's bad index area (Lemma 2),
+2. a union bound over the family ``F`` of at most ``2^{m log u}``
+   address functions,
+3. Lemma 3's bin-ball concentration (via stochastic domination by
+   independent Bernoullis), and
+4. Lemma 4's counting bound for the ``sp = ω(1)`` regime.
+
+Every bound here is computed in **log space** so the astronomically
+small tails (``e^{-φ²n/18}`` against ``2^{m log u}`` functions) stay
+finite, and each returns a genuine probability in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import stats
+
+_LN2 = math.log(2.0)
+
+
+# ---------------------------------------------------------------------------
+# Generic Chernoff machinery
+# ---------------------------------------------------------------------------
+
+def chernoff_lower_tail(mean: float, eps: float) -> float:
+    """``P[X < (1−ε)·E X] ≤ exp(−ε² E X / 2)`` for sums of independent
+    ``[0,1]`` variables — the form used to prove Lemma 2."""
+    if not 0 <= eps <= 1:
+        raise ValueError(f"ε must lie in [0,1], got {eps}")
+    if mean < 0:
+        raise ValueError(f"mean must be non-negative, got {mean}")
+    return math.exp(-(eps**2) * mean / 2.0)
+
+
+def chernoff_upper_tail(mean: float, eps: float) -> float:
+    """``P[X > (1+ε)·E X] ≤ exp(−ε² E X / 3)`` for ``0 < ε ≤ 1``."""
+    if not 0 < eps <= 1:
+        raise ValueError(f"ε must lie in (0,1], got {eps}")
+    if mean < 0:
+        raise ValueError(f"mean must be non-negative, got {mean}")
+    return math.exp(-(eps**2) * mean / 3.0)
+
+
+def binomial_lower_tail_exact(n: int, p: float, threshold: float) -> float:
+    """Exact ``P[Binomial(n,p) < threshold]`` for validating the Chernoff
+    forms against ground truth in tests."""
+    if threshold <= 0:
+        return 0.0
+    return float(stats.binom.cdf(math.ceil(threshold) - 1, n, p))
+
+
+def union_bound(count: float, per_event: float) -> float:
+    """``min(1, count · per_event)`` computed safely for huge ``count``.
+
+    ``count`` may be given as a float that overflows (e.g. ``2^{m log u}``);
+    pass ``math.inf`` and the result saturates at 1 unless ``per_event``
+    is exactly 0.
+    """
+    if per_event < 0 or count < 0:
+        raise ValueError("union bound needs non-negative inputs")
+    if per_event == 0.0:
+        return 0.0
+    if math.isinf(count):
+        return 1.0
+    return min(1.0, count * per_event)
+
+
+def log2_union_bound(log2_count: float, log_per_event: float) -> float:
+    """Union bound with the event count given as ``log₂`` and the
+    per-event probability as a natural log: returns a probability."""
+    log2_total = log2_count + log_per_event / _LN2
+    if log2_total >= 0:
+        return 1.0
+    if log2_total < -1074:  # below double-precision denormals
+        return 0.0
+    return 2.0**log2_total
+
+
+# ---------------------------------------------------------------------------
+# The paper's specific bounds
+# ---------------------------------------------------------------------------
+
+def log2_family_size(m: int, u: int) -> float:
+    """``log₂ |F| ≤ m·log₂ u``: the memory can describe at most
+    ``2^{m log u}`` distinct address functions."""
+    if m <= 0 or u <= 1:
+        raise ValueError(f"need m > 0 and u > 1, got m={m}, u={u}")
+    return m * math.log2(u)
+
+
+def lemma2_per_function_tail(phi: float, n: int) -> float:
+    """Natural-log of the per-bad-function failure ``e^{−φ²n/18}``
+    (the probability that < 2/3 of its expected bad-area mass arrives)."""
+    if not 0 < phi <= 1:
+        raise ValueError(f"φ must lie in (0,1], got {phi}")
+    return -(phi**2) * n / 18.0
+
+
+def lemma2_failure_probability(phi: float, n: int, m: int, u: int) -> float:
+    """Probability that *some* bad function in ``F`` receives too few
+    items in its bad index area: ``2^{m log u} · e^{−φ²n/18}``, safely.
+
+    When this is ≪ 1, every bad function's slow zone is forced over
+    budget, so the table must be using a good function (Lemma 2).
+    """
+    return log2_union_bound(log2_family_size(m, u), lemma2_per_function_tail(phi, n))
+
+
+def lemma3_failure_probability(s: int, mu: float) -> float:
+    """Lemma 3: the bin-ball cost is below ``(1−μ)(1−sp)s − t`` with
+    probability at most ``e^{−μ²s/3}``."""
+    if s <= 0:
+        raise ValueError(f"s must be positive, got {s}")
+    if not 0 < mu <= 1:
+        raise ValueError(f"μ must lie in (0,1], got {mu}")
+    return math.exp(-(mu**2) * s / 3.0)
+
+
+def lemma4_failure_probability(s: int, *, constant: float = 0.05) -> float:
+    """Lemma 4: the cost is below ``1/(20p)`` with probability
+    ``≤ 2^{−Ω(s)}``; ``constant`` instantiates the Ω."""
+    if s <= 0:
+        raise ValueError(f"s must be positive, got {s}")
+    if constant <= 0:
+        raise ValueError(f"constant must be positive, got {constant}")
+    return 2.0 ** (-constant * s)
+
+
+def lemma4_counting_bound(s: int, p: float) -> float:
+    """The raw counting bound inside Lemma 4's proof.
+
+    Probability that some ``s/2``-subset of balls fits in some
+    ``1/(20p)``-subset of bins:
+
+        2 · C(2/p, 1/(20p)) · C(s, s/2) · (1/20)^{s/2},
+
+    evaluated in log space via ``lgamma``.  Useful for checking where
+    the lemma's hypotheses (``s/2 ≥ t``, ``s/2 ≥ 1/p``) actually bite.
+    """
+    if not 0 < p < 1:
+        raise ValueError(f"p must lie in (0,1), got {p}")
+    if s < 2:
+        raise ValueError(f"s must be at least 2, got {s}")
+
+    def log_choose(a: float, k: float) -> float:
+        if k < 0 or k > a:
+            return -math.inf
+        return (
+            math.lgamma(a + 1.0) - math.lgamma(k + 1.0) - math.lgamma(a - k + 1.0)
+        )
+
+    log_p = (
+        math.log(2.0)
+        + log_choose(2.0 / p, 1.0 / (20.0 * p))
+        + log_choose(float(s), s / 2.0)
+        + (s / 2.0) * math.log(1.0 / 20.0)
+    )
+    return min(1.0, math.exp(min(log_p, 0.0)))
+
+
+def dominated_bernoulli_lower_bound(s: int, sp: float, mu: float) -> float:
+    """The Lemma 3 threshold ``(1−μ)(1−sp)s``: the number of nonempty
+    bins stochastically dominates a Binomial(s, 1−sp) sum, whose lower
+    Chernoff tail at slack ``μ`` gives the bound (before removing t)."""
+    if not 0 <= sp <= 1:
+        raise ValueError(f"sp must lie in [0,1] for the bound, got {sp}")
+    return (1.0 - mu) * (1.0 - sp) * s
+
+
+def empirical_dominates(
+    samples_upper: np.ndarray, samples_lower: np.ndarray, *, grid: int = 64
+) -> bool:
+    """Empirical check that ``upper`` first-order stochastically dominates
+    ``lower``: the upper empirical CDF sits below the lower one on a
+    shared grid.  Used by property tests on the bin-ball game."""
+    both = np.concatenate([samples_upper, samples_lower]).astype(float)
+    lo, hi = both.min(), both.max()
+    if lo == hi:
+        return True
+    points = np.linspace(lo, hi, grid)
+    cdf_u = np.searchsorted(np.sort(samples_upper), points, side="right") / len(
+        samples_upper
+    )
+    cdf_l = np.searchsorted(np.sort(samples_lower), points, side="right") / len(
+        samples_lower
+    )
+    # Allow small-sample noise: domination up to a 3-sigma DKW band.
+    slack = 3.0 * math.sqrt(
+        (1.0 / (2 * len(samples_upper)) + 1.0 / (2 * len(samples_lower)))
+    )
+    return bool(np.all(cdf_u <= cdf_l + slack))

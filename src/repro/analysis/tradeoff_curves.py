@@ -1,0 +1,104 @@
+"""Rendering Figure 1 and tabular experiment output.
+
+The benchmark harness prints every reproduced table/figure as plain
+rows; this module holds the shared formatting: aligned text tables for
+row dicts and an ASCII rendition of Figure 1's tradeoff plane (x-axis
+the query exponent ``c``, y-axis the amortized insertion cost).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..core.tradeoff import TradeoffCurves
+
+
+def format_rows(
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    columns: Sequence[str] | None = None,
+    float_fmt: str = "{:.6g}",
+) -> str:
+    """Render row dicts as an aligned, pipe-separated text table."""
+    if not rows:
+        return "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+
+    def cell(v: Any) -> str:
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    table = [[cell(r.get(c, "")) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in table)) for i, c in enumerate(cols)]
+    lines = [
+        " | ".join(c.ljust(w) for c, w in zip(cols, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    lines.extend(" | ".join(v.ljust(w) for v, w in zip(row, widths)) for row in table)
+    return "\n".join(lines)
+
+
+def tradeoff_table(curves: TradeoffCurves) -> str:
+    """Figure 1 as a printed table: one row per (c, kind) sample."""
+    rows = sorted(curves.rows(), key=lambda r: (r["c"], str(r["kind"])))
+    return format_rows(rows, columns=["c", "t_q", "t_u", "kind", "label"])
+
+
+def render_figure1(
+    curves: TradeoffCurves, *, width: int = 72, height: int = 22
+) -> str:
+    """ASCII plot of the tradeoff plane.
+
+    ``L`` marks the lower-bound envelope, ``U`` the upper-bound
+    envelope, ``*`` measured points; the vertical bar sits at the
+    ``c = 1`` boundary the paper identifies.  The y-axis is ``t_u``
+    (linear), the x-axis the exponent ``c``.
+    """
+    pts = [(p.c, p.insert_cost, "L") for p in curves.lower]
+    pts += [(p.c, p.insert_cost, "U") for p in curves.upper]
+    pts += [(p.c, p.insert_cost, "*") for p in curves.measured]
+    if not pts:
+        return "(no points)"
+
+    cs = np.array([p[0] for p in pts])
+    tus = np.array([p[1] for p in pts])
+    c_lo, c_hi = float(cs.min()), float(cs.max())
+    t_lo, t_hi = 0.0, max(1.1, float(tus.max()) * 1.05)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col_of(c: float) -> int:
+        return int(round((c - c_lo) / (c_hi - c_lo or 1.0) * (width - 1)))
+
+    def row_of(t: float) -> int:
+        frac = (t - t_lo) / (t_hi - t_lo or 1.0)
+        return (height - 1) - int(round(frac * (height - 1)))
+
+    if c_lo <= 1.0 <= c_hi:
+        boundary = col_of(1.0)
+        for r in range(height):
+            grid[r][boundary] = "|"
+
+    # Draw order gives measured points precedence over envelopes.
+    for mark in ("L", "U", "*"):
+        for c, t, kind in pts:
+            if kind != mark:
+                continue
+            grid[row_of(min(max(t, t_lo), t_hi))][col_of(c)] = mark
+
+    lines = [f"t_u (I/Os)   [b={curves.b}, n={curves.n}, m={curves.m}]"]
+    for r, row in enumerate(grid):
+        t_val = t_hi - (t_hi - t_lo) * r / (height - 1)
+        lines.append(f"{t_val:7.3f} {''.join(row)}")
+    axis = " " * 8 + "^" + " " * (width - 2)
+    lines.append(f"{'':8}{'-' * width}")
+    lo_lbl = f"c={c_lo:.2f}"
+    hi_lbl = f"c={c_hi:.2f}"
+    mid = "c=1 boundary".center(width - len(lo_lbl) - len(hi_lbl))
+    lines.append(f"{'':8}{lo_lbl}{mid}{hi_lbl}")
+    lines.append("        L = Thm 1 lower bound   U = upper bound   * = measured")
+    del axis
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Baseline external-memory structures for context and comparison.
+
+The paper's motivation (Section 1) is that buffering gives *most*
+external structures ``o(1)`` amortized updates — stacks, queues, the
+buffer tree, priority queues, LSM-style logarithmic structures — and
+asks why hash tables should be different.  This package implements
+those exhibits so the contrast is measurable:
+
+* :mod:`repro.baselines.stack_queue` — external stack and queue:
+  ``O(1/b)`` amortized I/Os per op with one block of buffer.
+* :mod:`repro.baselines.btree` — a classic external B-tree: ``Θ(log_b n)``
+  per op, the no-buffering comparison point for ordered dictionaries.
+* :mod:`repro.baselines.lsm` — an LSM-tree (the OSS-dominant buffered
+  dictionary): ``o(1)`` inserts, ``Θ(log(n/m))``-probe lookups.
+* :mod:`repro.baselines.buffer_tree` — Arge's buffer tree, the
+  canonical ``O((1/b)·log)`` batched structure.
+* :mod:`repro.baselines.priority_queue` — an external priority queue
+  ([4, 9] in the paper): o(1) amortized push/pop-min via run merging.
+* :mod:`repro.baselines.bloom` — memory-resident Bloom filters, the
+  standard trick LSMs use to shave lookup probes (and a nice example of
+  spending memory on something other than the paper's buffer).
+"""
+
+from .bloom import BloomFilter
+from .priority_queue import ExternalPriorityQueue
+from .btree import BTree
+from .buffer_tree import BufferTree
+from .lsm import LSMTree
+from .stack_queue import ExternalQueue, ExternalStack
+
+__all__ = [
+    "BloomFilter",
+    "ExternalPriorityQueue",
+    "BTree",
+    "BufferTree",
+    "LSMTree",
+    "ExternalQueue",
+    "ExternalStack",
+]

@@ -1,0 +1,138 @@
+"""Memory-resident Bloom filters.
+
+LSM-trees spend main memory on per-run Bloom filters so a lookup can
+skip runs that cannot contain the key — an alternative use of the same
+``m`` words the paper's buffered hash table spends on ``H_0``.  The
+filter is charged to the :class:`~repro.em.memory.MemoryBudget` at one
+word per 64 bits.
+
+The implementation is the textbook partitioned filter: ``k`` hash
+probes derived from one 64-bit mix by double hashing
+(Kirsch–Mitzenmacher), which preserves the asymptotic false-positive
+rate ``(1 − e^{−kn/m_bits})^k``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..em.memory import MemoryBudget
+from ..hashing.mixers import mix_seed, splitmix64
+
+
+class BloomFilter:
+    """A fixed-size Bloom filter over integer keys.
+
+    Parameters
+    ----------
+    bits:
+        Filter size in bits (rounded up to a multiple of 64).
+    hashes:
+        Number of probes ``k``; pick via :meth:`optimal_hashes`.
+    seed:
+        Seed for the probe derivation.
+    budget, owner:
+        Optional memory budget to charge (1 word per 64 bits).
+    """
+
+    def __init__(
+        self,
+        bits: int,
+        hashes: int,
+        *,
+        seed: int = 0,
+        budget: MemoryBudget | None = None,
+        owner: str = "bloom",
+    ) -> None:
+        if bits <= 0:
+            raise ValueError(f"bits must be positive, got {bits}")
+        if hashes <= 0:
+            raise ValueError(f"hashes must be positive, got {hashes}")
+        self.bits = ((bits + 63) // 64) * 64
+        self.hashes = hashes
+        self.seed = seed
+        self._words = np.zeros(self.bits // 64, dtype=np.uint64)
+        self._count = 0
+        self.budget = budget
+        self.owner = owner
+        if budget is not None:
+            budget.charge(owner, len(self._words))
+
+    @staticmethod
+    def optimal_hashes(bits: int, expected_items: int) -> int:
+        """``k = (m/n)·ln 2`` rounded to at least 1."""
+        if expected_items <= 0:
+            return 1
+        return max(1, round(bits / expected_items * math.log(2.0)))
+
+    @classmethod
+    def for_items(
+        cls,
+        expected_items: int,
+        *,
+        bits_per_item: float = 10.0,
+        seed: int = 0,
+        budget: MemoryBudget | None = None,
+        owner: str = "bloom",
+    ) -> "BloomFilter":
+        """Size a filter for ``expected_items`` at ``bits_per_item``
+        (10 bits/item ≈ 1% false positives at the optimal ``k``)."""
+        bits = max(64, int(expected_items * bits_per_item))
+        return cls(
+            bits,
+            cls.optimal_hashes(bits, expected_items),
+            seed=seed,
+            budget=budget,
+            owner=owner,
+        )
+
+    # -- probing -------------------------------------------------------------
+
+    def _positions(self, key: int):
+        h = splitmix64(mix_seed(self.seed, key))
+        h1 = h & 0xFFFFFFFF
+        h2 = (h >> 32) | 1  # odd, so all probes differ
+        for i in range(self.hashes):
+            yield ((h1 + i * h2) & 0xFFFFFFFFFFFFFFFF) % self.bits
+
+    def add(self, key: int) -> None:
+        for pos in self._positions(key):
+            self._words[pos >> 6] |= np.uint64(1 << (pos & 63))
+        self._count += 1
+
+    def might_contain(self, key: int) -> bool:
+        """``False`` is definitive; ``True`` may be a false positive."""
+        for pos in self._positions(key):
+            if not (int(self._words[pos >> 6]) >> (pos & 63)) & 1:
+                return False
+        return True
+
+    def __contains__(self, key: int) -> bool:
+        return self.might_contain(key)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Keys added so far."""
+        return self._count
+
+    @property
+    def memory_words(self) -> int:
+        return len(self._words)
+
+    def fill_fraction(self) -> float:
+        """Fraction of set bits (≈ ``1 − e^{−kn/bits}``)."""
+        set_bits = int(np.bitwise_count(self._words).sum())
+        return set_bits / self.bits
+
+    def expected_fpr(self) -> float:
+        """Analytic false-positive rate at the current fill."""
+        return self.fill_fraction() ** self.hashes
+
+    def release(self) -> None:
+        """Return the memory charge to the budget."""
+        if self.budget is not None:
+            self.budget.charge(self.owner, -len(self._words))

@@ -1,0 +1,162 @@
+"""External stack and queue: the simplest wins of buffering.
+
+With just ``O(1)`` blocks of main memory, a stack or queue supports
+``n`` operations in ``O(n/b)`` I/Os — ``O(1/b)`` amortized each.  These
+are the opening exhibits of the "power of buffering" literature the
+paper cites, and the benchmark contrast for its hash-table negative
+result.
+
+Both structures charge their memory buffers to the shared
+:class:`~repro.em.memory.MemoryBudget` and keep the classic invariants:
+
+* **stack**: a memory buffer of at most ``2b`` words; when it fills,
+  the *oldest* ``b`` words spill to disk in one write.  A pop that
+  drains the buffer reloads one block.  Any sequence of ``n`` pushes
+  and pops costs at most ``O(n/b)`` I/Os because each spilled block is
+  written once and read at most once per Θ(b) net movement.
+* **queue**: separate head and tail buffers of ``b`` words; the tail
+  spills full blocks to a FIFO list, the head refills from it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..em.block import Block
+from ..em.errors import ConfigurationError
+from ..em.storage import EMContext
+
+
+class ExternalStack:
+    """LIFO stack of integer words with ``O(1/b)`` amortized I/Os."""
+
+    def __init__(self, ctx: EMContext, *, name: str = "ExternalStack") -> None:
+        if ctx.m < 2 * ctx.b:
+            raise ConfigurationError(
+                f"external stack needs m >= 2b (m={ctx.m}, b={ctx.b})"
+            )
+        self.ctx = ctx
+        self.name = name
+        self._buffer: list[int] = []
+        self._spilled: list[int] = []  # block ids, bottom of stack first
+        self._size = 0
+        self._charge()
+
+    def _charge(self) -> None:
+        self.ctx.memory.set_charge(
+            f"{self.name}@{id(self)}", len(self._buffer) + len(self._spilled) + 2
+        )
+
+    def push(self, word: int) -> None:
+        self._buffer.append(word)
+        self._size += 1
+        if len(self._buffer) >= 2 * self.ctx.b:
+            self._spill()
+        self._charge()
+
+    def pop(self) -> int:
+        if self._size == 0:
+            raise IndexError("pop from empty external stack")
+        if not self._buffer:
+            self._reload()
+        self._size -= 1
+        out = self._buffer.pop()
+        self._charge()
+        return out
+
+    def peek(self) -> int:
+        if self._size == 0:
+            raise IndexError("peek of empty external stack")
+        if not self._buffer:
+            self._reload()
+        return self._buffer[-1]
+
+    def _spill(self) -> None:
+        """Write the oldest ``b`` buffered words to a fresh block."""
+        b = self.ctx.b
+        blk = Block(b, data=self._buffer[:b])
+        bid = self.ctx.disk.allocate()
+        self.ctx.disk.write(bid, blk)
+        self._spilled.append(bid)
+        del self._buffer[:b]
+
+    def _reload(self) -> None:
+        """Read back the most recently spilled block."""
+        bid = self._spilled.pop()
+        blk = self.ctx.disk.read(bid)
+        self.ctx.disk.free(bid)
+        self._buffer = blk.records() + self._buffer
+
+    def __len__(self) -> int:
+        return self._size
+
+    def check_invariants(self) -> None:
+        assert len(self._buffer) <= 2 * self.ctx.b
+        spilled_words = len(self._spilled) * self.ctx.b
+        assert self._size == len(self._buffer) + spilled_words
+
+
+class ExternalQueue:
+    """FIFO queue of integer words with ``O(1/b)`` amortized I/Os."""
+
+    def __init__(self, ctx: EMContext, *, name: str = "ExternalQueue") -> None:
+        if ctx.m < 2 * ctx.b:
+            raise ConfigurationError(
+                f"external queue needs m >= 2b (m={ctx.m}, b={ctx.b})"
+            )
+        self.ctx = ctx
+        self.name = name
+        self._head: deque[int] = deque()  # dequeue side
+        self._tail: list[int] = []  # enqueue side
+        self._spilled: deque[int] = deque()  # block ids, oldest first
+        self._size = 0
+        self._charge()
+
+    def _charge(self) -> None:
+        self.ctx.memory.set_charge(
+            f"{self.name}@{id(self)}",
+            len(self._head) + len(self._tail) + len(self._spilled) + 2,
+        )
+
+    def enqueue(self, word: int) -> None:
+        self._tail.append(word)
+        self._size += 1
+        if len(self._tail) >= self.ctx.b:
+            self._spill()
+        self._charge()
+
+    def dequeue(self) -> int:
+        if self._size == 0:
+            raise IndexError("dequeue from empty external queue")
+        if not self._head:
+            self._refill()
+        self._size -= 1
+        out = self._head.popleft()
+        self._charge()
+        return out
+
+    def _spill(self) -> None:
+        blk = Block(self.ctx.b, data=self._tail)
+        bid = self.ctx.disk.allocate()
+        self.ctx.disk.write(bid, blk)
+        self._spilled.append(bid)
+        self._tail = []
+
+    def _refill(self) -> None:
+        if self._spilled:
+            bid = self._spilled.popleft()
+            blk = self.ctx.disk.read(bid)
+            self.ctx.disk.free(bid)
+            self._head.extend(blk.records())
+        else:
+            # Everything lives in the tail buffer; promote it wholesale.
+            self._head.extend(self._tail)
+            self._tail = []
+
+    def __len__(self) -> int:
+        return self._size
+
+    def check_invariants(self) -> None:
+        assert len(self._tail) < self.ctx.b or self._size == len(self._tail)
+        spilled_words = len(self._spilled) * self.ctx.b
+        assert self._size == len(self._head) + len(self._tail) + spilled_words

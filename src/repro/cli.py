@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives quick terminal access to the headline artifacts without writing
+code:
+
+* ``figure1``   — print the ASCII tradeoff plane with measured points.
+* ``knuth``     — print the analytic Knuth §6.4 reference grid.
+* ``baselines`` — run the one-workload structure comparison.
+* ``audit``     — zone-decompose and certify the built-in tables.
+* ``trace``     — replay a mixed workload against a chosen table.
+
+Every command accepts ``--b``, ``--m``, ``--n`` to change the model
+geometry, and prints plain aligned tables (no plotting dependencies).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .analysis.knuth import knuth_table
+from .analysis.tradeoff_curves import format_rows, render_figure1
+from .baselines.btree import BTree
+from .baselines.lsm import LSMTree
+from .core.buffered import BufferedHashTable
+from .core.config import BufferedParams
+from .core.jensen_pagh import JensenPaghTable
+from .core.logmethod import LogMethodHashTable
+from .core.tradeoff import figure1_curves
+from .em import make_context
+from .hashing.family import MULTIPLY_SHIFT
+from .tables.chaining import ChainedHashTable
+from .workloads.drivers import measure_table
+from .workloads.generators import UniformKeys
+from .workloads.trace import MixedWorkload, replay
+
+
+def _add_geometry(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--b", type=int, default=64, help="words per block")
+    parser.add_argument("--m", type=int, default=512, help="words of memory")
+    parser.add_argument("--n", type=int, default=6000, help="keys to insert")
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _table_factories(args) -> dict[str, Callable]:
+    return {
+        "chaining": lambda c: ChainedHashTable(
+            c,
+            MULTIPLY_SHIFT.sample(c.u, args.seed),
+            buckets=max(16, 2 * args.n // args.b),
+            max_load=None,
+        ),
+        "buffered": lambda c: BufferedHashTable(
+            c,
+            MULTIPLY_SHIFT.sample(c.u, args.seed),
+            params=BufferedParams.for_query_exponent(args.b, 0.5),
+        ),
+        "logmethod": lambda c: LogMethodHashTable(
+            c, MULTIPLY_SHIFT.sample(c.u, args.seed)
+        ),
+        "jensen-pagh": lambda c: JensenPaghTable(
+            c, MULTIPLY_SHIFT.sample(c.u, args.seed)
+        ),
+        "lsm": lambda c: LSMTree(c, gamma=4, memtable_items=max(32, args.m // 8)),
+        "btree": lambda c: BTree(c),
+    }
+
+
+def cmd_figure1(args) -> int:
+    def ctx_factory():
+        return make_context(b=args.b, m=args.m, u=2**40)
+
+    curves = figure1_curves(args.b, args.n, args.m)
+    factories = _table_factories(args)
+    std = measure_table(ctx_factory, factories["chaining"], args.n, seed=args.seed)
+    curves.add_measured(2.0, std.t_q, std.t_u, "standard chaining")
+    for c in (0.25, 0.5, 0.75):
+        m = measure_table(
+            ctx_factory,
+            lambda ctx, c=c: BufferedHashTable(
+                ctx,
+                MULTIPLY_SHIFT.sample(ctx.u, args.seed),
+                params=BufferedParams.for_query_exponent(args.b, c),
+            ),
+            args.n,
+            seed=args.seed,
+        )
+        curves.add_measured(c, m.t_q, m.t_u, f"buffered c={c}")
+    print(render_figure1(curves))
+    return 0
+
+
+def cmd_knuth(args) -> int:
+    rows = [
+        {
+            "b": r.b,
+            "alpha": r.alpha,
+            "t_q_success": round(r.successful, 6),
+            "t_q_fail": round(r.unsuccessful, 6),
+            "overflow": f"{r.overflow:.2e}",
+        }
+        for r in knuth_table()
+    ]
+    print(format_rows(rows))
+    return 0
+
+
+def cmd_baselines(args) -> int:
+    def ctx_factory():
+        return make_context(b=args.b, m=args.m, u=2**40)
+
+    rows = []
+    for name, factory in _table_factories(args).items():
+        m = measure_table(ctx_factory, factory, args.n, seed=args.seed)
+        rows.append({"table": name, "t_u": round(m.t_u, 4), "t_q": round(m.t_q, 4)})
+    print(format_rows(rows))
+    return 0
+
+
+def cmd_audit(args) -> int:
+    from .lowerbound.zones import decompose
+
+    rows = []
+    for name, factory in _table_factories(args).items():
+        ctx = make_context(b=args.b, m=args.m, u=2**40)
+        table = factory(ctx)
+        table.insert_many(UniformKeys(ctx.u, args.seed).take(args.n))
+        z = decompose(table.layout_snapshot())
+        rows.append(
+            {
+                "table": name,
+                "memory": len(z.memory),
+                "fast": len(z.fast),
+                "slow": len(z.slow),
+                "query_floor": round(z.query_cost_lower_bound(), 4),
+            }
+        )
+    print(format_rows(rows))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    factories = _table_factories(args)
+    if args.table not in factories:
+        print(f"unknown table {args.table!r}; choose from {sorted(factories)}")
+        return 2
+    ctx = make_context(b=args.b, m=args.m, u=2**40)
+    table = factories[args.table](ctx)
+    wl = MixedWorkload(
+        UniformKeys(ctx.u, args.seed),
+        mix=tuple(args.mix),
+        seed=args.seed + 1,
+    )
+    report = replay(table, wl.ops(args.n), strict=False)
+    print(format_rows(report.rows()))
+    print(f"\ntotal: {report.total_ops} ops, {report.total_ios} I/Os "
+          f"({report.amortized:.4f}/op), {report.errors} unsupported ops skipped")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dynamic External Hashing: The Limit of Buffering — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figure1", help="ASCII Figure 1 with measured points")
+    _add_geometry(p)
+    p.set_defaults(func=cmd_figure1)
+
+    p = sub.add_parser("knuth", help="Knuth §6.4 analytic reference grid")
+    _add_geometry(p)
+    p.set_defaults(func=cmd_knuth)
+
+    p = sub.add_parser("baselines", help="one-workload structure comparison")
+    _add_geometry(p)
+    p.set_defaults(func=cmd_baselines)
+
+    p = sub.add_parser("audit", help="zone decomposition of the built-in tables")
+    _add_geometry(p)
+    p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser("trace", help="replay a mixed workload")
+    _add_geometry(p)
+    p.add_argument("--table", default="buffered")
+    p.add_argument(
+        "--mix",
+        type=float,
+        nargs=4,
+        default=[0.5, 0.4, 0.05, 0.05],
+        metavar=("INS", "HIT", "MISS", "DEL"),
+        help="op-mix weights (insert, hit-lookup, miss-lookup, delete)",
+    )
+    p.set_defaults(func=cmd_trace)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

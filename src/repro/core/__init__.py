@@ -1,0 +1,45 @@
+"""The paper's primary contribution, executable.
+
+* :class:`~repro.core.logmethod.LogMethodHashTable` — Lemma 5.
+* :class:`~repro.core.buffered.BufferedHashTable` — Theorem 2.
+* :class:`~repro.core.jensen_pagh.JensenPaghTable` — the prior work
+  [12] whose conjecture the paper settles: load ``1 − O(1/√b)``,
+  queries and (unbuffered) updates ``1 + O(1/√b)``.
+* :mod:`~repro.core.config` — parameter derivations (β = b^c, the
+  (δ, φ, ρ, s) tuples of Theorem 1) and closed-form bound values.
+* :mod:`~repro.core.tradeoff` — Figure 1 as data.
+"""
+
+from .buffered import BufferedHashTable
+from .jensen_pagh import JensenPaghTable
+from .config import (
+    BufferedParams,
+    LowerBoundParams,
+    insertion_lower_bound,
+    insertion_upper_bound,
+    query_cost_target,
+)
+from .logmethod import LogMethodHashTable
+from .tradeoff import (
+    TradeoffCurves,
+    TradeoffPoint,
+    crossover_exponent,
+    figure1_curves,
+    regime_of,
+)
+
+__all__ = [
+    "BufferedHashTable",
+    "BufferedParams",
+    "JensenPaghTable",
+    "LogMethodHashTable",
+    "LowerBoundParams",
+    "TradeoffCurves",
+    "TradeoffPoint",
+    "crossover_exponent",
+    "figure1_curves",
+    "insertion_lower_bound",
+    "insertion_upper_bound",
+    "query_cost_target",
+    "regime_of",
+]

@@ -1,0 +1,130 @@
+"""Figure 1: the query--insertion tradeoff, as data.
+
+Generates the upper- and lower-bound envelopes of the paper's Figure 1
+for a concrete ``(b, n, m)`` instantiation, and pairs them with
+*measured* points produced by the workload drivers.  The x-axis is the
+query-cost exponent ``c`` (query target ``t_q = 1 + 1/b^c``), the
+y-axis the amortized insertion cost ``t_u`` in I/Os.
+
+Regimes:
+
+* ``c > 1``      — buffering useless: ``t_u ≥ 1 − O(1/b^{(c−1)/4})``,
+  matched by the standard table at ``1 + 1/2^{Ω(b)}``.
+* ``c = 1``      — the boundary: ``t_u = Θ(1)`` (any constant ε > 0
+  achievable).
+* ``0 < c < 1``  — buffering wins: ``t_u = Θ(b^{c−1}) = o(1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .config import insertion_lower_bound, insertion_upper_bound, query_cost_target
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One point of the tradeoff plane."""
+
+    c: float
+    query_cost: float
+    insert_cost: float
+    kind: str  # "lower", "upper", or "measured"
+    label: str = ""
+
+
+@dataclass
+class TradeoffCurves:
+    """The Figure 1 envelopes for a concrete instantiation."""
+
+    b: int
+    n: int
+    m: int
+    lower: list[TradeoffPoint] = field(default_factory=list)
+    upper: list[TradeoffPoint] = field(default_factory=list)
+    measured: list[TradeoffPoint] = field(default_factory=list)
+
+    def add_measured(self, c: float, query_cost: float, insert_cost: float, label: str) -> None:
+        self.measured.append(
+            TradeoffPoint(c, query_cost, insert_cost, "measured", label)
+        )
+
+    def rows(self) -> list[dict[str, float | str]]:
+        """Flat row dicts for tabular printing (benchmark output)."""
+        out: list[dict[str, float | str]] = []
+        for pt in [*self.lower, *self.upper, *self.measured]:
+            out.append(
+                {
+                    "c": round(pt.c, 4),
+                    "t_q": round(pt.query_cost, 6),
+                    "t_u": round(pt.insert_cost, 6),
+                    "kind": pt.kind,
+                    "label": pt.label,
+                }
+            )
+        return out
+
+
+def regime_of(c: float) -> str:
+    """Which Figure 1 regime an exponent falls in."""
+    if c > 1:
+        return "buffering-useless"
+    if c == 1:
+        return "boundary"
+    if c > 0:
+        return "buffering-effective"
+    raise ValueError(f"query exponent must be positive, got {c}")
+
+
+def figure1_curves(
+    b: int,
+    n: int,
+    m: int,
+    *,
+    c_grid: np.ndarray | None = None,
+    lower_constant: float = 1.0,
+    gamma: int = 2,
+) -> TradeoffCurves:
+    """Sample the Figure 1 envelopes on a grid of exponents."""
+    if c_grid is None:
+        c_grid = np.concatenate(
+            [np.linspace(0.2, 0.95, 16), np.array([1.0]), np.linspace(1.05, 2.0, 16)]
+        )
+    curves = TradeoffCurves(b=b, n=n, m=m)
+    for c in np.asarray(c_grid, dtype=float):
+        c = float(c)
+        tq = query_cost_target(b, c)
+        curves.lower.append(
+            TradeoffPoint(
+                c,
+                tq,
+                insertion_lower_bound(b, c, constant=lower_constant),
+                "lower",
+                f"Thm1 case {1 if c > 1 else (2 if c == 1 else 3)}",
+            )
+        )
+        curves.upper.append(
+            TradeoffPoint(
+                c,
+                tq,
+                insertion_upper_bound(b, c, n, m, gamma=gamma),
+                "upper",
+                "standard table" if c > 1 else "Thm2 buffered",
+            )
+        )
+    return curves
+
+
+def crossover_exponent(curves: TradeoffCurves, threshold: float = 0.5) -> float | None:
+    """Smallest ``c`` on the upper envelope where ``t_u`` exceeds ``threshold``.
+
+    Locates the empirical "limit of buffering": the paper predicts the
+    jump happens at ``c = 1``.
+    """
+    pts = sorted(curves.upper, key=lambda p: p.c)
+    for pt in pts:
+        if pt.insert_cost > threshold:
+            return pt.c
+    return None

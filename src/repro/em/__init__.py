@@ -1,0 +1,47 @@
+"""External-memory substrate: the Aggarwal--Vitter model, simulated.
+
+Public surface:
+
+* :class:`~repro.em.storage.ModelParams`, :class:`~repro.em.storage.EMContext`,
+  :func:`~repro.em.storage.make_context` — model parameters and shared context.
+* :class:`~repro.em.disk.Disk`, :class:`~repro.em.block.Block` — storage.
+* :class:`~repro.em.iostats.IOStats`, :class:`~repro.em.iostats.IOPolicy` —
+  the I/O complexity measure.
+* :class:`~repro.em.memory.MemoryBudget` — the ``m``-word memory.
+* :class:`~repro.em.cache.BufferPool` — LRU buffering for baselines.
+"""
+
+from .block import Block
+from .cache import BufferPool, CacheStats
+from .disk import Disk
+from .errors import (
+    BlockOverflowError,
+    ConfigurationError,
+    EMError,
+    InvalidBlockError,
+    MemoryBudgetExceededError,
+)
+from .iostats import IOPolicy, IOSnapshot, IOStats, PAPER_POLICY, STRICT_POLICY
+from .memory import MemoryBudget
+from .storage import EMContext, ModelParams, make_context
+
+__all__ = [
+    "Block",
+    "BufferPool",
+    "CacheStats",
+    "Disk",
+    "EMContext",
+    "EMError",
+    "BlockOverflowError",
+    "ConfigurationError",
+    "InvalidBlockError",
+    "MemoryBudgetExceededError",
+    "IOPolicy",
+    "IOSnapshot",
+    "IOStats",
+    "PAPER_POLICY",
+    "STRICT_POLICY",
+    "MemoryBudget",
+    "ModelParams",
+    "make_context",
+]

@@ -1,0 +1,155 @@
+"""Disk blocks.
+
+A block holds at most ``b`` *words*.  In the paper's model one item is
+one word (a ``log u``-bit key), so a block holds at most ``b`` items.
+Structures that store key--value records charge ``record_words`` words
+per record, letting the same block type model payload-carrying tables
+(a block then holds ``b // record_words`` records).
+
+Blocks are deliberately simple: a bounded list of integers plus a small
+out-of-band header dict for structural metadata (e.g. chain pointers,
+local depth).  Header words can be charged too, but the paper's
+structures only ever need O(1) header words per block, which it — like
+all EM literature — ignores; we expose ``header_words`` so strict
+accounting is possible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from .errors import BlockOverflowError
+
+
+class Block:
+    """A bounded container of integer words.
+
+    Parameters
+    ----------
+    capacity_words:
+        The block size ``b`` in words.
+    record_words:
+        Words charged per appended record (1 for key-only items).
+    """
+
+    __slots__ = ("capacity_words", "record_words", "_data", "header")
+
+    def __init__(
+        self,
+        capacity_words: int,
+        *,
+        record_words: int = 1,
+        data: Iterable[int] | None = None,
+        header: dict[str, Any] | None = None,
+    ) -> None:
+        if capacity_words <= 0:
+            raise ValueError(f"block capacity must be positive, got {capacity_words}")
+        if record_words <= 0:
+            raise ValueError(f"record_words must be positive, got {record_words}")
+        self.capacity_words = capacity_words
+        self.record_words = record_words
+        self._data: list[int] = list(data) if data is not None else []
+        if len(self._data) * record_words > capacity_words:
+            raise BlockOverflowError(
+                f"initial data of {len(self._data)} records exceeds capacity "
+                f"{capacity_words} words at {record_words} words/record"
+            )
+        self.header: dict[str, Any] = dict(header) if header else {}
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def capacity_records(self) -> int:
+        """Maximum number of records this block can hold."""
+        return self.capacity_words // self.record_words
+
+    @property
+    def used_words(self) -> int:
+        return len(self._data) * self.record_words
+
+    @property
+    def free_records(self) -> int:
+        return self.capacity_records - len(self._data)
+
+    @property
+    def full(self) -> bool:
+        return len(self._data) >= self.capacity_records
+
+    @property
+    def empty(self) -> bool:
+        return not self._data
+
+    # -- record access -----------------------------------------------------
+
+    def append(self, word: int) -> None:
+        """Append one record, raising :class:`BlockOverflowError` when full."""
+        if self.full:
+            raise BlockOverflowError(
+                f"block full: {len(self._data)} records of {self.record_words} "
+                f"words in a {self.capacity_words}-word block"
+            )
+        self._data.append(word)
+
+    def extend(self, words: Iterable[int]) -> None:
+        for w in words:
+            self.append(w)
+
+    def remove(self, word: int) -> bool:
+        """Remove one occurrence of ``word``; return whether it was present."""
+        try:
+            self._data.remove(word)
+        except ValueError:
+            return False
+        return True
+
+    def replace_contents(self, words: Iterable[int]) -> None:
+        """Overwrite the records wholesale (still bounded by capacity)."""
+        new = list(words)
+        if len(new) > self.capacity_records:
+            raise BlockOverflowError(
+                f"{len(new)} records exceed capacity of {self.capacity_records}"
+            )
+        self._data = new
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __contains__(self, word: int) -> bool:
+        return word in self._data
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __getitem__(self, i: int) -> int:
+        return self._data[i]
+
+    def records(self) -> list[int]:
+        """A copy of the stored records."""
+        return list(self._data)
+
+    def copy(self) -> "Block":
+        return Block(
+            self.capacity_words,
+            record_words=self.record_words,
+            data=self._data,
+            header=self.header,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Block):
+            return NotImplemented
+        return (
+            self.capacity_words == other.capacity_words
+            and self.record_words == other.record_words
+            and self._data == other._data
+            and self.header == other.header
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Block({len(self._data)}/{self.capacity_records} records, "
+            f"b={self.capacity_words}, header={self.header})"
+        )

@@ -1,0 +1,173 @@
+"""An LRU buffer pool over the simulated disk.
+
+The paper's structures manage their memory explicitly (H0 lives in
+memory, everything else on disk), but classic engines and our baselines
+(B-tree, LSM) are more naturally written against a buffer pool: reads
+hit the cache when possible, dirty blocks are written back on eviction.
+A cache of ``capacity_blocks`` blocks consumes
+``capacity_blocks * b`` words of the memory budget.
+
+Cache hits charge **no** I/O — that is the entire point of buffering and
+exactly the effect whose limits the paper studies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from .block import Block
+from .disk import Disk
+from .errors import ConfigurationError
+from .memory import MemoryBudget
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/writeback counters for a :class:`BufferPool`."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class BufferPool:
+    """Write-back LRU cache of disk blocks.
+
+    Parameters
+    ----------
+    disk:
+        Underlying disk; all misses and writebacks are charged there.
+    capacity_blocks:
+        Number of block frames; total memory footprint is
+        ``capacity_blocks * disk.b`` words.
+    budget:
+        Optional memory budget to charge the frames against.
+    owner:
+        Charge label used with ``budget``.
+    """
+
+    def __init__(
+        self,
+        disk: Disk,
+        capacity_blocks: int,
+        *,
+        budget: MemoryBudget | None = None,
+        owner: str = "buffer-pool",
+    ) -> None:
+        if capacity_blocks <= 0:
+            raise ConfigurationError(
+                f"cache capacity must be positive, got {capacity_blocks}"
+            )
+        self.disk = disk
+        self.capacity_blocks = capacity_blocks
+        self.budget = budget
+        self.owner = owner
+        if budget is not None:
+            budget.charge(owner, capacity_blocks * disk.b)
+        self._frames: OrderedDict[int, Block] = OrderedDict()
+        self._dirty: set[int] = set()
+        self.stats = CacheStats()
+
+    # -- core operations -----------------------------------------------------
+
+    def get(self, block_id: int) -> Block:
+        """Return the cached block, faulting it in from disk on a miss."""
+        if block_id in self._frames:
+            self.stats.hits += 1
+            self._frames.move_to_end(block_id)
+            return self._frames[block_id]
+        self.stats.misses += 1
+        blk = self.disk.read(block_id)
+        self._install(block_id, blk)
+        return blk
+
+    def put(self, block_id: int, block: Block) -> None:
+        """Install ``block`` as the new contents of ``block_id`` (dirty)."""
+        if block_id in self._frames:
+            self._frames[block_id] = block
+            self._frames.move_to_end(block_id)
+        else:
+            self._install(block_id, block)
+        self._dirty.add(block_id)
+
+    def mark_dirty(self, block_id: int) -> None:
+        """Mark an already-cached block as modified in place."""
+        if block_id not in self._frames:
+            raise KeyError(f"block {block_id} not resident in cache")
+        self._dirty.add(block_id)
+
+    def _install(self, block_id: int, block: Block) -> None:
+        while len(self._frames) >= self.capacity_blocks:
+            self._evict_lru()
+        self._frames[block_id] = block
+        self._frames.move_to_end(block_id)
+
+    def _evict_lru(self) -> None:
+        victim, blk = self._frames.popitem(last=False)
+        self.stats.evictions += 1
+        if victim in self._dirty:
+            # Eviction write-backs are "cold" writes: the read that brought
+            # the block in is long past, so footnote-2 combining must not
+            # apply.
+            self.disk.stats.invalidate_rmw()
+            self.disk.write(victim, blk)
+            self._dirty.discard(victim)
+            self.stats.writebacks += 1
+
+    # -- maintenance -----------------------------------------------------------
+
+    def flush(self) -> int:
+        """Write back every dirty block; return the number written."""
+        written = 0
+        for bid in sorted(self._dirty):
+            self.disk.stats.invalidate_rmw()
+            self.disk.write(bid, self._frames[bid])
+            written += 1
+            self.stats.writebacks += 1
+        self._dirty.clear()
+        return written
+
+    def invalidate(self, block_id: int, *, discard: bool = False) -> None:
+        """Drop a block from the cache (writing it back unless ``discard``)."""
+        if block_id not in self._frames:
+            return
+        blk = self._frames.pop(block_id)
+        if block_id in self._dirty:
+            self._dirty.discard(block_id)
+            if not discard:
+                self.disk.stats.invalidate_rmw()
+                self.disk.write(block_id, blk)
+                self.stats.writebacks += 1
+
+    def clear(self) -> None:
+        """Flush and empty the pool."""
+        self.flush()
+        self._frames.clear()
+
+    def close(self) -> None:
+        """Flush and release the memory charge."""
+        self.clear()
+        if self.budget is not None:
+            self.budget.release(self.owner)
+
+    # -- inspection -------------------------------------------------------------
+
+    def resident(self) -> list[int]:
+        """Block ids currently cached, LRU first."""
+        return list(self._frames)
+
+    def is_resident(self, block_id: int) -> bool:
+        return block_id in self._frames
+
+    def __len__(self) -> int:
+        return len(self._frames)

@@ -1,0 +1,152 @@
+"""The simulated disk.
+
+The disk is an infinite array of :class:`~repro.em.block.Block` slots
+addressed by integer block ids.  Every access goes through :meth:`read`
+or :meth:`write`, which charge the shared :class:`~repro.em.iostats.IOStats`.
+A convenience :meth:`modify` context manager expresses the ubiquitous
+read-modify-write pattern and benefits from the footnote-2 combining in
+the I/O policy.
+
+Reads hand back a *copy* of the stored block by default, which keeps
+the model honest: mutating memory-resident state never silently mutates
+the disk.  Structures that have just written a block they own may use
+``copy=False`` for speed after the invariant is established by tests.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterator
+
+from .block import Block
+from .errors import ConfigurationError, InvalidBlockError
+from .iostats import IOStats
+
+
+class Disk:
+    """An unbounded array of ``b``-word blocks with I/O accounting.
+
+    Parameters
+    ----------
+    block_size_words:
+        The model parameter ``b``.
+    stats:
+        Shared I/O counters; a fresh one is created when omitted.
+    record_words:
+        Default words-per-record for blocks allocated by this disk.
+    """
+
+    def __init__(
+        self,
+        block_size_words: int,
+        *,
+        stats: IOStats | None = None,
+        record_words: int = 1,
+    ) -> None:
+        if block_size_words <= 0:
+            raise ConfigurationError(f"b must be positive, got {block_size_words}")
+        if record_words <= 0 or record_words > block_size_words:
+            raise ConfigurationError(
+                f"record_words must lie in [1, b], got {record_words}"
+            )
+        self.b = block_size_words
+        self.record_words = record_words
+        self.stats = stats if stats is not None else IOStats()
+        self._blocks: dict[int, Block] = {}
+        self._next_id = 0
+
+    # -- allocation ---------------------------------------------------------
+
+    def allocate(self, *, record_words: int | None = None) -> int:
+        """Reserve a fresh block id (no I/O is charged until first write)."""
+        bid = self._next_id
+        self._next_id += 1
+        self._blocks[bid] = Block(
+            self.b, record_words=record_words or self.record_words
+        )
+        return bid
+
+    def allocate_many(self, count: int, *, record_words: int | None = None) -> list[int]:
+        """Reserve ``count`` consecutive fresh block ids."""
+        return [self.allocate(record_words=record_words) for _ in range(count)]
+
+    def free(self, block_id: int) -> None:
+        """Release a block id; later access raises :class:`InvalidBlockError`."""
+        if block_id not in self._blocks:
+            raise InvalidBlockError(f"free of unknown block {block_id}")
+        del self._blocks[block_id]
+
+    # -- I/O ----------------------------------------------------------------
+
+    def read(self, block_id: int, *, copy: bool = True) -> Block:
+        """Fetch a block into memory, charging one read I/O."""
+        blk = self._fetch(block_id)
+        self.stats.record_read(block_id)
+        return blk.copy() if copy else blk
+
+    def write(self, block_id: int, block: Block) -> None:
+        """Store ``block`` at ``block_id``, charging one write I/O.
+
+        The very first write of a freshly allocated block is recorded as
+        an allocation (chargeable per policy).
+        """
+        existing = self._fetch(block_id)
+        fresh = existing.empty and not existing.header
+        if block.capacity_words != self.b:
+            raise InvalidBlockError(
+                f"block capacity {block.capacity_words} != disk b {self.b}"
+            )
+        self._blocks[block_id] = block.copy()
+        self.stats.record_write(block_id, fresh=fresh)
+
+    @contextlib.contextmanager
+    def modify(self, block_id: int) -> Iterator[Block]:
+        """Read-modify-write ``block_id`` (one I/O under the paper policy)."""
+        blk = self.read(block_id)
+        yield blk
+        self.write(block_id, blk)
+
+    def peek(self, block_id: int) -> Block:
+        """Inspect a block **without charging I/O** (instrumentation only).
+
+        Used by the lower-bound machinery to take layout snapshots; never
+        by the data structures themselves.
+        """
+        return self._fetch(block_id).copy()
+
+    def scan(
+        self, block_ids: list[int], visit: Callable[[int, Block], None] | None = None
+    ) -> list[Block]:
+        """Read a sequence of blocks, charging one I/O each."""
+        out = []
+        for bid in block_ids:
+            blk = self.read(bid)
+            if visit is not None:
+                visit(bid, blk)
+            out.append(blk)
+        return out
+
+    # -- introspection -------------------------------------------------------
+
+    def block_ids(self) -> list[int]:
+        """All live block ids (instrumentation; no I/O charged)."""
+        return sorted(self._blocks)
+
+    def blocks_in_use(self) -> int:
+        """Number of live blocks, the denominator of the load factor."""
+        return len(self._blocks)
+
+    def nonempty_blocks(self) -> int:
+        return sum(1 for blk in self._blocks.values() if not blk.empty)
+
+    def words_stored(self) -> int:
+        return sum(blk.used_words for blk in self._blocks.values())
+
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self._blocks
+
+    def _fetch(self, block_id: int) -> Block:
+        try:
+            return self._blocks[block_id]
+        except KeyError:
+            raise InvalidBlockError(f"access to unknown block {block_id}") from None

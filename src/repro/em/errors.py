@@ -1,0 +1,34 @@
+"""Exception hierarchy for the external-memory substrate.
+
+The simulator enforces the Aggarwal--Vitter model invariants strictly:
+blocks never exceed ``b`` words, memory charges never exceed ``m`` words
+(when a hard budget is requested), and I/O is only possible through the
+:class:`~repro.em.disk.Disk` interface.  Violations raise subclasses of
+:class:`EMError` so tests can assert on precise failure modes.
+"""
+
+from __future__ import annotations
+
+
+class EMError(Exception):
+    """Base class for all external-memory model violations."""
+
+
+class BlockOverflowError(EMError):
+    """Raised when more than ``b`` words are written into a single block."""
+
+
+class MemoryBudgetExceededError(EMError):
+    """Raised when a structure charges more than ``m`` words of memory."""
+
+
+class InvalidBlockError(EMError):
+    """Raised when a block id is malformed or refers to a freed block."""
+
+
+class FrozenBlockError(EMError):
+    """Raised when code mutates a block snapshot that was handed out read-only."""
+
+
+class ConfigurationError(EMError):
+    """Raised for invalid model parameters (``b``, ``m``, ``u`` ...)."""

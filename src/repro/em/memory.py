@@ -1,0 +1,98 @@
+"""Main-memory budget accounting.
+
+The model grants the algorithm ``m`` words of main memory.  The paper's
+lower bound charges the hash table for everything it keeps resident:
+the memory zone of items *and* the description of the address function
+``f`` (the family ``F`` has at most ``2^{m log u}`` members because ``f``
+must fit in memory).  :class:`MemoryBudget` tracks named charges so each
+structure can prove it stays within ``m``, and tests can assert the
+high-water mark.
+
+The budget can run in ``hard`` mode (exceeding ``m`` raises) or soft
+mode (only the high-water mark is recorded), since some experiments
+intentionally overshoot to observe the consequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ConfigurationError, MemoryBudgetExceededError
+
+
+@dataclass
+class MemoryBudget:
+    """Tracks words of main memory charged against the model's ``m``.
+
+    Parameters
+    ----------
+    m:
+        Memory size in words.
+    hard:
+        When ``True`` any charge pushing usage above ``m`` raises
+        :class:`MemoryBudgetExceededError`.
+    """
+
+    m: int
+    hard: bool = True
+    _charges: dict[str, int] = field(default_factory=dict)
+    high_water: int = 0
+
+    def __post_init__(self) -> None:
+        if self.m <= 0:
+            raise ConfigurationError(f"m must be positive, got {self.m}")
+
+    # -- charging ------------------------------------------------------------
+
+    def charge(self, owner: str, words: int) -> None:
+        """Add ``words`` to ``owner``'s charge (may be negative to release)."""
+        new = self._charges.get(owner, 0) + words
+        if new < 0:
+            raise ValueError(f"charge for {owner!r} would go negative ({new})")
+        self._charges[owner] = new
+        self._check()
+
+    def set_charge(self, owner: str, words: int) -> None:
+        """Set ``owner``'s charge to an absolute number of words."""
+        if words < 0:
+            raise ValueError(f"negative charge {words} for {owner!r}")
+        self._charges[owner] = words
+        self._check()
+
+    def release(self, owner: str) -> None:
+        """Drop ``owner``'s entire charge."""
+        self._charges.pop(owner, None)
+
+    def _check(self) -> None:
+        used = self.used
+        if used > self.high_water:
+            self.high_water = used
+        if self.hard and used > self.m:
+            detail = ", ".join(f"{k}={v}" for k, v in sorted(self._charges.items()))
+            raise MemoryBudgetExceededError(
+                f"memory over budget: {used} > m={self.m} words ({detail})"
+            )
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def used(self) -> int:
+        return sum(self._charges.values())
+
+    @property
+    def free(self) -> int:
+        return self.m - self.used
+
+    def charge_of(self, owner: str) -> int:
+        return self._charges.get(owner, 0)
+
+    def owners(self) -> list[str]:
+        return sorted(self._charges)
+
+    def within_budget(self) -> bool:
+        return self.used <= self.m
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryBudget(used={self.used}/{self.m}, high_water={self.high_water})"
+        )

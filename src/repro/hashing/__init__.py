@@ -1,0 +1,48 @@
+"""Hash functions over ``U = {0, ..., u-1}``.
+
+Provides the ideal hashing the paper assumes plus realistic families
+(multiply-shift, Carter--Wegman, degree-4 polynomial, tabulation) used
+for sensitivity ablations.
+"""
+
+from .base import HashFunction
+from .family import (
+    CARTER_WEGMAN,
+    FAMILIES,
+    HashFamily,
+    IDEAL,
+    MEMOISED_IDEAL,
+    MULTIPLY_SHIFT,
+    POLYNOMIAL4,
+    TABULATION,
+    get_family,
+)
+from .ideal import IdealHash, MemoisedIdealHash
+from .mixers import MERSENNE61, mod_mersenne61, next_prime, splitmix64, splitmix64_array
+from .multiply_shift import MultiplyShiftHash
+from .tabulation import TabulationHash
+from .universal import CarterWegmanHash, PolynomialHash
+
+__all__ = [
+    "HashFunction",
+    "HashFamily",
+    "FAMILIES",
+    "get_family",
+    "IDEAL",
+    "MEMOISED_IDEAL",
+    "MULTIPLY_SHIFT",
+    "CARTER_WEGMAN",
+    "POLYNOMIAL4",
+    "TABULATION",
+    "IdealHash",
+    "MemoisedIdealHash",
+    "MultiplyShiftHash",
+    "CarterWegmanHash",
+    "PolynomialHash",
+    "TabulationHash",
+    "MERSENNE61",
+    "mod_mersenne61",
+    "next_prime",
+    "splitmix64",
+    "splitmix64_array",
+]

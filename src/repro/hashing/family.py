@@ -1,0 +1,77 @@
+"""Hash-family registry and sampling.
+
+A :class:`HashFamily` abstracts "pick a fresh function with seed s" so
+tables can be constructed generically and experiments can sweep
+families.  The registry maps short names (used on benchmark command
+lines and in EXPERIMENTS.md) to families.
+
+The paper's lower bound observes that the table's address-function
+family ``F`` must be fixed in advance and describable in memory
+(``|F| <= 2^{m log u}``); :meth:`HashFamily.description_words` reports
+each family's memory footprint so experiments can charge it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .base import HashFunction
+from .ideal import IdealHash, MemoisedIdealHash
+from .multiply_shift import MultiplyShiftHash
+from .tabulation import TabulationHash
+from .universal import CarterWegmanHash, PolynomialHash
+
+
+@dataclass(frozen=True)
+class HashFamily:
+    """A named constructor of seeded hash functions."""
+
+    name: str
+    factory: Callable[[int, int], HashFunction]
+    #: Words of main memory one sampled function occupies (seed/coefficients
+    #: or tabulation tables).
+    description_words_fn: Callable[[HashFunction], int] = lambda h: 2
+
+    def sample(self, u: int, seed: int) -> HashFunction:
+        """Instantiate the family member with the given seed."""
+        return self.factory(u, seed)
+
+    def description_words(self, h: HashFunction) -> int:
+        return self.description_words_fn(h)
+
+
+IDEAL = HashFamily("ideal", lambda u, s: IdealHash(u, s))
+MEMOISED_IDEAL = HashFamily("memoised-ideal", lambda u, s: MemoisedIdealHash(u, s))
+MULTIPLY_SHIFT = HashFamily("multiply-shift", lambda u, s: MultiplyShiftHash(u, s))
+CARTER_WEGMAN = HashFamily("carter-wegman", lambda u, s: CarterWegmanHash(u, s))
+POLYNOMIAL4 = HashFamily(
+    "poly4", lambda u, s: PolynomialHash(u, s, k=4), lambda h: getattr(h, "k", 4)
+)
+TABULATION = HashFamily(
+    "tabulation",
+    lambda u, s: TabulationHash(u, s),
+    lambda h: h.memory_words() if isinstance(h, TabulationHash) else 2,
+)
+
+FAMILIES: dict[str, HashFamily] = {
+    f.name: f
+    for f in (
+        IDEAL,
+        MEMOISED_IDEAL,
+        MULTIPLY_SHIFT,
+        CARTER_WEGMAN,
+        POLYNOMIAL4,
+        TABULATION,
+    )
+}
+
+
+def get_family(name: str) -> HashFamily:
+    """Look up a family by registry name (raises ``KeyError`` with choices)."""
+    try:
+        return FAMILIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown hash family {name!r}; choices: {sorted(FAMILIES)}"
+        ) from None

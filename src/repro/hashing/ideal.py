@@ -1,0 +1,89 @@
+"""Ideal (fully random) hashing.
+
+The paper's analysis — like Knuth's — assumes ``h`` is an *ideal* hash
+function: each key's hash value is independently uniform on ``[0, u)``
+(an assumption justified for realistic data by Mitzenmacher--Vadhan
+[15]).  :class:`IdealHash` realises this with a keyed splitmix64 chain:
+for practical purposes the values are indistinguishable from fresh
+uniform draws, they are deterministic given the seed (so experiments
+replay), and — unlike a memoised table of true random draws — batch
+hashing vectorises.
+
+:class:`MemoisedIdealHash` instead draws honest uniform values from a
+PCG64 stream and memoises them, for tests that want the literal model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import HashFunction
+from .mixers import MASK64, mix_seed, splitmix64, splitmix64_array
+
+
+class IdealHash(HashFunction):
+    """Deterministic stand-in for a fully random function ``U -> [0, u)``.
+
+    For a power-of-two universe the masked splitmix64 output is exactly
+    uniform; for general ``u`` we reject-free reduce by multiplying into
+    the range (Lemire reduction), whose bias is ``< 2^-40`` for the
+    universes used here.
+    """
+
+    def hash(self, key: int) -> int:
+        self._check_key(key)
+        v = mix_seed(self.seed, key)
+        if self.u & (self.u - 1) == 0:
+            return v & (self.u - 1)
+        return (v * self.u) >> 64
+
+    def hash_array(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.uint64)
+        seeded = splitmix64_array(keys) ^ np.uint64(self.seed & MASK64)
+        v = splitmix64_array(seeded)
+        if self.u & (self.u - 1) == 0:
+            return v & np.uint64(self.u - 1)
+        # 128-bit multiply-high via split into 32-bit halves.
+        return _mulhi_reduce(v, self.u)
+
+
+def _mulhi_reduce(v: np.ndarray, u: int) -> np.ndarray:
+    """Vectorised Lemire reduction ``(v * u) >> 64`` for uint64 ``v``."""
+    lo32 = np.uint64(0xFFFFFFFF)
+    v_lo = v & lo32
+    v_hi = v >> np.uint64(32)
+    u_lo = np.uint64(u & 0xFFFFFFFF)
+    u_hi = np.uint64((u >> 32) & 0xFFFFFFFF)
+    with np.errstate(over="ignore"):
+        ll = v_lo * u_lo
+        lh = v_lo * u_hi
+        hl = v_hi * u_lo
+        hh = v_hi * u_hi
+        carry = ((ll >> np.uint64(32)) + (lh & lo32) + (hl & lo32)) >> np.uint64(32)
+        out = hh + (lh >> np.uint64(32)) + (hl >> np.uint64(32)) + carry
+    return out
+
+
+class MemoisedIdealHash(HashFunction):
+    """Literal ideal hashing: fresh uniform draws, memoised per key.
+
+    Mirrors the lower-bound construction exactly (each ``h(x)`` is an
+    independent uniform sample).  Memory usage grows with the number of
+    distinct keys hashed, so use only in tests and small experiments.
+    """
+
+    def __init__(self, u: int, seed: int = 0) -> None:
+        super().__init__(u, seed)
+        self._rng = np.random.default_rng(seed)
+        self._memo: dict[int, int] = {}
+
+    def hash(self, key: int) -> int:
+        self._check_key(key)
+        v = self._memo.get(key)
+        if v is None:
+            v = int(self._rng.integers(0, self.u, dtype=np.uint64))
+            self._memo[key] = v
+        return v
+
+    def hash_array(self, keys: np.ndarray) -> np.ndarray:
+        return np.array([self.hash(int(k)) for k in np.asarray(keys)], dtype=np.uint64)

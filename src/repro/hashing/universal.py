@@ -1,0 +1,88 @@
+"""Carter--Wegman universal hashing [7].
+
+The classic 2-universal family ``h_{a,b}(x) = ((a x + b) mod p) mod u``
+with ``p`` prime ``>= u`` and ``a in [1, p)``, ``b in [0, p)``.  We use
+the Mersenne prime ``p = 2^61 - 1`` when the universe fits (fast
+shift-add reduction) and otherwise the smallest prime above ``u``.
+
+Also provides :class:`PolynomialHash`, the degree-``k`` extension giving
+k-wise independence, used by the sensitivity ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import HashFunction
+from .mixers import MERSENNE61, mod_mersenne61, next_prime, splitmix64
+
+
+def _derive(seed: int, i: int, p: int) -> int:
+    """Derive the i-th coefficient in ``[0, p)`` from ``seed``."""
+    return splitmix64(seed * 0x9E3779B9 + i * 0xDEADBEEF + 1) % p
+
+
+class CarterWegmanHash(HashFunction):
+    """2-universal multiply-add-mod-prime hashing."""
+
+    def __init__(self, u: int, seed: int = 0) -> None:
+        super().__init__(u, seed)
+        self.p = MERSENNE61 if u <= MERSENNE61 else next_prime(u)
+        a = _derive(seed, 0, self.p - 1) + 1  # a in [1, p)
+        b = _derive(seed, 1, self.p)
+        self.a, self.b = a, b
+
+    def hash(self, key: int) -> int:
+        self._check_key(key)
+        if self.p == MERSENNE61:
+            v = mod_mersenne61(self.a * key + self.b)
+        else:
+            v = (self.a * key + self.b) % self.p
+        return v % self.u
+
+    def hash_array(self, keys: np.ndarray) -> np.ndarray:
+        # Coefficients exceed 32 bits, so the product needs >128-bit
+        # headroom; fall back to object-dtype exact arithmetic in chunks.
+        ks = np.asarray(keys, dtype=np.uint64)
+        out = np.empty(ks.shape, dtype=np.uint64)
+        flat = ks.reshape(-1)
+        res = out.reshape(-1)
+        for i, k in enumerate(flat):
+            res[i] = self.hash(int(k))
+        return out
+
+
+class PolynomialHash(HashFunction):
+    """Degree-(k-1) polynomial hashing: k-wise independent.
+
+    ``h(x) = (sum_i a_i x^i mod p) mod u`` with independent coefficients.
+    ``k = 2`` recovers :class:`CarterWegmanHash` up to coefficient
+    derivation.
+    """
+
+    def __init__(self, u: int, seed: int = 0, *, k: int = 4) -> None:
+        if k < 2:
+            raise ValueError(f"independence degree k must be >= 2, got {k}")
+        super().__init__(u, seed)
+        self.k = k
+        self.p = MERSENNE61 if u <= MERSENNE61 else next_prime(u)
+        self.coeffs = [_derive(seed, i, self.p) for i in range(k)]
+        if self.coeffs[-1] == 0:
+            self.coeffs[-1] = 1  # keep the polynomial at full degree
+
+    def hash(self, key: int) -> int:
+        self._check_key(key)
+        # Horner evaluation mod p.
+        acc = 0
+        for a in reversed(self.coeffs):
+            acc = (acc * key + a) % self.p
+        return acc % self.u
+
+    def hash_array(self, keys: np.ndarray) -> np.ndarray:
+        ks = np.asarray(keys, dtype=np.uint64)
+        out = np.empty(ks.shape, dtype=np.uint64)
+        flat = ks.reshape(-1)
+        res = out.reshape(-1)
+        for i, k in enumerate(flat):
+            res[i] = self.hash(int(k))
+        return out

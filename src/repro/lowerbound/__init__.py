@@ -1,0 +1,82 @@
+"""Executable form of the paper's lower-bound machinery (Section 2).
+
+* :mod:`~repro.lowerbound.zones` — the (M, F, S) zone decomposition and
+  inequality (1).
+* :mod:`~repro.lowerbound.charvec` — characteristic vectors, bad index
+  areas, the good/bad function dichotomy (Lemma 2).
+* :mod:`~repro.lowerbound.binball` — the (s, p, t) bin--ball game with
+  an exact optimal adversary (Lemmas 3 and 4).
+* :mod:`~repro.lowerbound.adversary` — the round-structured insertion
+  experiment with per-round certified I/O lower bounds.
+* :mod:`~repro.lowerbound.bounds` — closed-form per-round and amortized
+  statements of Theorem 1.
+"""
+
+from .adversary import AdversaryReport, KeyStream, RoundRecord, certify_round, run_adversary
+from .binball import (
+    GameEnsemble,
+    GameOutcome,
+    GameParams,
+    lemma3_failure_probability,
+    lemma4_failure_probability,
+    optimal_adversary_cost,
+    play,
+    play_many,
+    random_adversary_cost,
+    throw_balls,
+)
+from .bounds import (
+    RoundBound,
+    amortized_bound,
+    chernoff_bad_function_tail,
+    family_union_bound,
+    minimum_n,
+    round_bound,
+    theorem1_statement,
+)
+from .charvec import (
+    CharacteristicVector,
+    FamilyAudit,
+    audit_family,
+    exact_for_modular,
+    from_counts,
+    planted_bad_vector,
+    sample_for_function,
+)
+from .zones import ZoneDecomposition, ZoneHistoryPoint, decompose, verify_query_claim
+
+__all__ = [
+    "AdversaryReport",
+    "KeyStream",
+    "RoundRecord",
+    "certify_round",
+    "run_adversary",
+    "GameEnsemble",
+    "GameOutcome",
+    "GameParams",
+    "lemma3_failure_probability",
+    "lemma4_failure_probability",
+    "optimal_adversary_cost",
+    "play",
+    "play_many",
+    "random_adversary_cost",
+    "throw_balls",
+    "RoundBound",
+    "amortized_bound",
+    "chernoff_bad_function_tail",
+    "family_union_bound",
+    "minimum_n",
+    "round_bound",
+    "theorem1_statement",
+    "CharacteristicVector",
+    "FamilyAudit",
+    "audit_family",
+    "exact_for_modular",
+    "from_counts",
+    "planted_bad_vector",
+    "sample_for_function",
+    "ZoneDecomposition",
+    "ZoneHistoryPoint",
+    "decompose",
+    "verify_query_claim",
+]

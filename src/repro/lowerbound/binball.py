@@ -1,0 +1,178 @@
+"""The (s, p, t) bin--ball game (Section 2, Lemmas 3 and 4).
+
+Throw ``s`` balls into ``r ≥ 1/p`` bins independently, each bin
+receiving any given ball with probability at most ``p``.  An adversary
+then removes ``t`` balls so that the survivors occupy the fewest bins.
+The *cost* is the number of bins still occupied — a stand-in for the
+distinct blocks an insertion round must touch.
+
+* Lemma 3 (``sp ≤ 1/3``): cost ``≥ (1−µ)(1−sp)s − t`` w.p.
+  ``≥ 1 − e^{−µ²s/3}`` — nearly every ball needs its own bin.
+* Lemma 4 (``s/2 ≥ t``, ``s/2 ≥ 1/p``): cost ``≥ 1/(20p)`` w.p.
+  ``1 − 2^{−Ω(s)}`` — even a powerful adversary keeps ``Ω(1/p)`` bins.
+
+The optimal adversary is computable exactly: to minimise occupied bins
+with ``t`` removals, wipe out whole bins in increasing order of load.
+We implement that (vectorised), plus a random-removal ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GameParams:
+    """Parameters of one (s, p, t) game."""
+
+    s: int
+    p: float
+    t: int
+    r: int | None = None  # bins; defaults to ceil(1/p)
+
+    def __post_init__(self) -> None:
+        if self.s <= 0:
+            raise ValueError(f"s must be positive, got {self.s}")
+        if not 0 < self.p <= 1:
+            raise ValueError(f"p must lie in (0, 1], got {self.p}")
+        if self.t < 0:
+            raise ValueError(f"t must be non-negative, got {self.t}")
+        if self.r is not None and self.r < math.ceil(1 / self.p):
+            raise ValueError(f"need r ≥ 1/p bins, got r={self.r} < {1 / self.p:.1f}")
+
+    @property
+    def bins(self) -> int:
+        return self.r if self.r is not None else math.ceil(1 / self.p)
+
+    def lemma3_applies(self) -> bool:
+        return self.s * self.p <= 1 / 3
+
+    def lemma4_applies(self) -> bool:
+        return self.s / 2 >= self.t and self.s / 2 >= 1 / self.p
+
+
+def throw_balls(params: GameParams, rng: np.random.Generator) -> np.ndarray:
+    """Throw ``s`` balls uniformly into the bins; returns per-bin counts.
+
+    Uniform throwing into ``r ≥ 1/p`` bins gives per-bin probability
+    ``1/r ≤ p``, satisfying the game's constraint.
+    """
+    assignments = rng.integers(0, params.bins, size=params.s)
+    return np.bincount(assignments, minlength=params.bins)
+
+
+def optimal_adversary_cost(counts: np.ndarray, t: int) -> int:
+    """Exact minimum occupied bins after removing ``t`` balls.
+
+    Remove whole bins in increasing order of load: emptying a bin with
+    ``c`` balls spends ``c`` removals and saves one bin, so greedy by
+    load is optimal (exchange argument: swapping a partly-emptied big
+    bin for a fully-emptied small one never loses).
+    """
+    occupied = counts[counts > 0]
+    if occupied.size == 0:
+        return 0
+    loads = np.sort(occupied)
+    cum = np.cumsum(loads)
+    emptied = int(np.searchsorted(cum, t, side="right"))
+    return int(loads.size - emptied)
+
+
+def random_adversary_cost(
+    counts: np.ndarray, t: int, rng: np.random.Generator
+) -> int:
+    """Ablation: remove ``t`` uniformly random balls instead of optimally."""
+    balls = np.repeat(np.arange(counts.size), counts)
+    if t >= balls.size:
+        return 0
+    keep = rng.permutation(balls.size)[t:]
+    return int(np.unique(balls[keep]).size)
+
+
+@dataclass(frozen=True)
+class GameOutcome:
+    """Result of one simulated game."""
+
+    params: GameParams
+    cost: int
+    occupied_before_removal: int
+
+    def lemma3_bound(self, mu: float) -> float:
+        """The Lemma 3 bound ``(1−µ)(1−sp)s − t``."""
+        s, p, t = self.params.s, self.params.p, self.params.t
+        return (1 - mu) * (1 - s * p) * s - t
+
+    def lemma4_bound(self) -> float:
+        """The Lemma 4 bound ``1/(20p)``."""
+        return 1.0 / (20.0 * self.params.p)
+
+
+def play(
+    params: GameParams,
+    rng: np.random.Generator | None = None,
+    *,
+    adversary: str = "optimal",
+) -> GameOutcome:
+    """Simulate one game with the chosen adversary ("optimal" | "random")."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    counts = throw_balls(params, rng)
+    occupied = int((counts > 0).sum())
+    if adversary == "optimal":
+        cost = optimal_adversary_cost(counts, params.t)
+    elif adversary == "random":
+        cost = random_adversary_cost(counts, params.t, rng)
+    else:
+        raise ValueError(f"unknown adversary {adversary!r}")
+    return GameOutcome(params=params, cost=cost, occupied_before_removal=occupied)
+
+
+@dataclass(frozen=True)
+class GameEnsemble:
+    """Many i.i.d. plays of the same game."""
+
+    params: GameParams
+    costs: np.ndarray
+
+    @property
+    def trials(self) -> int:
+        return int(self.costs.shape[0])
+
+    @property
+    def mean_cost(self) -> float:
+        return float(self.costs.mean())
+
+    @property
+    def min_cost(self) -> int:
+        return int(self.costs.min())
+
+    def empirical_failure_probability(self, bound: float) -> float:
+        """Fraction of trials whose cost fell below ``bound``."""
+        return float((self.costs < bound).mean())
+
+
+def play_many(
+    params: GameParams,
+    trials: int,
+    *,
+    seed: int = 0,
+    adversary: str = "optimal",
+) -> GameEnsemble:
+    """Simulate ``trials`` independent games (vectorised over trials)."""
+    rng = np.random.default_rng(seed)
+    costs = np.empty(trials, dtype=np.int64)
+    for i in range(trials):
+        costs[i] = play(params, rng, adversary=adversary).cost
+    return GameEnsemble(params=params, costs=costs)
+
+
+def lemma3_failure_probability(s: int, mu: float) -> float:
+    """The Lemma 3 tail bound ``e^{−µ²s/3}``."""
+    return math.exp(-(mu**2) * s / 3)
+
+
+def lemma4_failure_probability(s: int, *, constant: float = 0.05) -> float:
+    """A concrete instantiation of the Lemma 4 tail ``2^{−Ω(s)}``."""
+    return 2.0 ** (-constant * s)

@@ -1,0 +1,106 @@
+"""Closed-form statements of Theorem 1, round by round.
+
+While :mod:`repro.core.config` exposes the headline amortized bounds,
+this module spells out the *per-round* quantities the proof
+manipulates, so experiments can compare each measured round against the
+exact expression the proof guarantees for it:
+
+* case 1 / 2 (Lemma 3 route): round cost ``≥ (1 − O(φ)) s − t`` with
+  ``t = |S| + |M| ≤ δn/φ + 2m``;
+* case 3 (Lemma 4 route): round cost ``≥ (1 − 2φ)/(20ρ)``.
+
+Every function takes explicit constants so benches can report both the
+leading-order prediction and a conservative concrete value.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.config import LowerBoundParams
+
+
+@dataclass(frozen=True)
+class RoundBound:
+    """The proof's guarantee for a single round."""
+
+    expected_round_cost: float
+    t_allowance: float  # the adversary's removals t = |S| + |M| budget
+    failure_probability: float
+    route: str  # "lemma3" or "lemma4"
+
+
+def round_bound(
+    params: LowerBoundParams, n: int, m: int, b: int, *, mu: float | None = None
+) -> RoundBound:
+    """The per-round cost guarantee for the given case parameters."""
+    s, phi, rho, delta = params.s, params.phi, params.rho, params.delta
+    t = delta * n / phi + 2 * m  # E1's slow-zone cap plus the memory zone
+    if params.case in (1, 2):
+        mu = mu if mu is not None else phi
+        sp = s * rho / max(1e-12, 1 - phi)
+        cost = max(0.0, (1 - mu) * (1 - sp) * (1 - 2 * phi) * s - t)
+        # φ ≥ 1/2 makes the guarantee vacuous (failure probability 2φ ≥ 1);
+        # clamp the exponent so the formula saturates instead of overflowing.
+        # (1 − 2φ) < 0 for φ > 1/2 flips the exponent's sign, so clamp
+        # both ways; exp(+700) would overflow but any non-positive
+        # exponent already saturates `fail` at 1.
+        exponent1 = max(-700.0, min(700.0, (phi**2) * (1 - 2 * phi) * s / 3))
+        fail = (
+            2 * phi
+            + math.exp(-exponent1)
+            + math.exp(-min(700.0, 2 * phi**2 * s))
+        )
+        return RoundBound(cost, t, min(1.0, fail), "lemma3")
+    # Case 3: Lemma 4 route.
+    p = rho / max(1e-12, 1 - phi)
+    cost = (1 - 2 * phi) / (20 * p)
+    fail = 2 * phi + 2.0 ** (-0.05 * s)
+    return RoundBound(cost, t, min(1.0, fail), "lemma4")
+
+
+def amortized_bound(params: LowerBoundParams, n: int, m: int, b: int) -> float:
+    """Amortized ``t_u`` implied by the round bound: ``cost · rounds / n``."""
+    rb = round_bound(params, n, m, b)
+    rounds = (1 - params.phi) * n / params.s
+    return rb.expected_round_cost * rounds / n
+
+
+def theorem1_statement(b: int, c: float) -> str:
+    """Human-readable statement of the applicable tradeoff."""
+    if c > 1:
+        return (
+            f"t_q <= 1 + O(1/b^{c:g}) (c>1)  =>  "
+            f"t_u >= 1 - O(1/b^{(c - 1) / 4:g}) ~ {1 - b ** (-(c - 1) / 4):.4f}"
+        )
+    if c == 1:
+        return "t_q <= 1 + O(1/b)  =>  t_u >= Ω(1)"
+    return (
+        f"t_q <= 1 + O(1/b^{c:g}) (c<1)  =>  "
+        f"t_u >= Ω(b^{c - 1:g}) ~ {b ** (c - 1):.6f}"
+    )
+
+
+def minimum_n(b: int, m: int, c: float, *, constant: float = 1.0) -> int:
+    """Smallest ``n`` inside the theorem's regime ``n > Ω(m b^{1+2c})``."""
+    return int(constant * m * b ** (1 + 2 * c)) + 1
+
+
+def chernoff_bad_function_tail(phi: float, n: int) -> float:
+    """Lemma 2's tail ``e^{−φ²n/18}`` for one bad function."""
+    return math.exp(-(phi**2) * n / 18)
+
+
+def family_union_bound(m: int, u: int, per_function_tail: float) -> float:
+    """Union bound over the family: ``2^{m log u} · tail`` (capped at 1).
+
+    Computed in log-space to survive the astronomically large family
+    size.
+    """
+    log2_family = m * math.log2(max(u, 2))
+    log2_tail = math.log2(per_function_tail) if per_function_tail > 0 else -math.inf
+    log2_total = log2_family + log2_tail
+    if log2_total >= 0:
+        return 1.0
+    return 2.0**log2_total

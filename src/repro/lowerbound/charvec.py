@@ -1,0 +1,165 @@
+"""Characteristic vectors and the good/bad function dichotomy (Lemma 2).
+
+For an address function ``f : U → {1..d}`` let
+``α_i = |f^{-1}(i)| / u`` (so ``Σ α_i = 1``).  Fix a threshold ``ρ``:
+indices with ``α_i > ρ`` form the **bad index area** ``D_f``; its total
+mass is ``λ_f = Σ_{i ∈ D_f} α_i``.  A function is **bad** when
+``λ_f > φ`` — it funnels too much of the universe into too few blocks,
+so under random inserts the fast zone saturates (``|D_f| ≤ λ_f/ρ``
+indices hold at most ``b λ_f/ρ`` fast items) and the slow zone must
+violate the query bound.  Lemma 2: w.h.p. the table uses a good ``f``.
+
+Exact characteristic vectors need ``|U|`` evaluations; for the sampled
+variant we estimate ``α`` by hashing a uniform key sample and report
+binomial confidence intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CharacteristicVector:
+    """The vector ``(α_1, ..., α_d)`` of an address function."""
+
+    alphas: np.ndarray  # shape (d,), non-negative, sums to ~1
+    exact: bool
+
+    def __post_init__(self) -> None:
+        a = np.asarray(self.alphas, dtype=float)
+        if a.ndim != 1:
+            raise ValueError("characteristic vector must be one-dimensional")
+        if (a < 0).any():
+            raise ValueError("characteristic vector entries must be non-negative")
+        total = float(a.sum())
+        if total > 0 and not np.isclose(total, 1.0, atol=1e-6):
+            raise ValueError(f"characteristic vector sums to {total}, expected 1")
+
+    @property
+    def d(self) -> int:
+        return int(self.alphas.shape[0])
+
+    # -- Lemma 2 quantities ---------------------------------------------------
+
+    def bad_index_area(self, rho: float) -> np.ndarray:
+        """Indices ``i`` with ``α_i > ρ`` (``D_f``)."""
+        return np.flatnonzero(self.alphas > rho)
+
+    def lambda_f(self, rho: float) -> float:
+        """Mass of the bad index area, ``λ_f``."""
+        return float(self.alphas[self.alphas > rho].sum())
+
+    def is_good(self, rho: float, phi: float) -> bool:
+        """Good function test: ``λ_f ≤ φ``."""
+        return self.lambda_f(rho) <= phi
+
+    def good_mass(self, rho: float) -> float:
+        """``1 − λ_f``: probability a random item lands in the good area."""
+        return 1.0 - self.lambda_f(rho)
+
+    def max_good_bucket_prob(self, rho: float) -> float:
+        """Conditional landing probability bound ``ρ / (1 − λ_f)``.
+
+        This is the per-bin probability ``p`` of the bin--ball game a
+        good function induces (proof of Theorem 1, step 2).
+        """
+        lam = self.lambda_f(rho)
+        if lam >= 1.0:
+            return 1.0
+        return min(1.0, rho / (1.0 - lam))
+
+
+def from_counts(counts: Sequence[int] | np.ndarray, *, exact: bool = True) -> CharacteristicVector:
+    """Build a characteristic vector from preimage sizes ``|f^{-1}(i)|``."""
+    c = np.asarray(counts, dtype=float)
+    total = c.sum()
+    if total <= 0:
+        raise ValueError("counts must have positive total")
+    return CharacteristicVector(alphas=c / total, exact=exact)
+
+
+def exact_for_modular(u: int, d: int) -> CharacteristicVector:
+    """Exact vector of ``f(x) = x mod d`` on ``U = [0, u)``.
+
+    The first ``u mod d`` residues receive ``ceil(u/d)`` keys, the rest
+    ``floor(u/d)`` — the canonical *good* function (``λ_f = 0`` for any
+    ``ρ > ceil(u/d)/u``).
+    """
+    if d <= 0 or u <= 0:
+        raise ValueError("u and d must be positive")
+    base = u // d
+    extra = u % d
+    counts = np.full(d, base, dtype=float)
+    counts[:extra] += 1
+    return from_counts(counts)
+
+
+def sample_for_function(
+    f: Callable[[int], int],
+    u: int,
+    d: int,
+    *,
+    samples: int = 100_000,
+    rng: np.random.Generator | None = None,
+) -> CharacteristicVector:
+    """Estimate the characteristic vector of an arbitrary ``f`` by sampling.
+
+    Draws ``samples`` uniform keys and bins ``f(key)``.  The estimate of
+    each ``α_i`` has standard error ``≤ 1/(2√samples)``.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    keys = rng.integers(0, u, size=samples, dtype=np.uint64)
+    counts = np.zeros(d, dtype=np.int64)
+    for key in keys:
+        idx = f(int(key))
+        if not 0 <= idx < d:
+            raise ValueError(f"address {idx} outside [0, {d})")
+        counts[idx] += 1
+    return from_counts(counts, exact=False)
+
+
+def planted_bad_vector(d: int, hot_indices: int, hot_mass: float) -> CharacteristicVector:
+    """A synthetic *bad* vector: ``hot_indices`` blocks carry ``hot_mass``.
+
+    Used by the Lemma 2 experiments to plant bad functions and watch
+    their slow zones blow up.
+    """
+    if not 0 < hot_mass < 1:
+        raise ValueError("hot_mass must lie in (0, 1)")
+    if not 0 < hot_indices < d:
+        raise ValueError("hot_indices must lie in (0, d)")
+    alphas = np.full(d, (1.0 - hot_mass) / (d - hot_indices))
+    alphas[:hot_indices] = hot_mass / hot_indices
+    return CharacteristicVector(alphas=alphas, exact=True)
+
+
+@dataclass(frozen=True)
+class FamilyAudit:
+    """Good/bad audit of a whole address-function family sample."""
+
+    rho: float
+    phi: float
+    lambdas: np.ndarray  # λ_f per audited function
+
+    @property
+    def n_functions(self) -> int:
+        return int(self.lambdas.shape[0])
+
+    @property
+    def bad_fraction(self) -> float:
+        return float((self.lambdas > self.phi).mean())
+
+    def worst(self) -> float:
+        return float(self.lambdas.max(initial=0.0))
+
+
+def audit_family(
+    vectors: Sequence[CharacteristicVector], rho: float, phi: float
+) -> FamilyAudit:
+    """Classify each function of a family sample as good or bad."""
+    lams = np.array([v.lambda_f(rho) for v in vectors], dtype=float)
+    return FamilyAudit(rho=rho, phi=phi, lambdas=lams)

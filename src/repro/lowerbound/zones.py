@@ -1,0 +1,113 @@
+"""Zone decomposition of a hash-table layout (Section 2's abstraction).
+
+Given a :class:`~repro.tables.base.LayoutSnapshot` — memory items,
+disk blocks ``B_1..B_d``, and the memory-computable address function
+``f`` — decompose the stored items into:
+
+* **memory zone** ``M``: items resident in memory (0 I/Os to query),
+* **fast zone** ``F``: disk items with ``x ∈ B_{f(x)}`` (1 I/O),
+* **slow zone** ``S``: everything else (≥ 2 I/Os).
+
+From the zones we obtain the paper's *query-cost lower bound* for the
+layout, ``(|F| + 2|S|) / k``, and can check inequality (1):
+``E|S| ≤ m + δk`` whenever the table claims ``t_q ≤ 1 + δ``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..tables.base import LayoutSnapshot
+
+
+@dataclass(frozen=True)
+class ZoneDecomposition:
+    """The (M, F, S) partition of one layout snapshot."""
+
+    memory: frozenset[int]
+    fast: frozenset[int]
+    slow: frozenset[int]
+
+    @property
+    def k(self) -> int:
+        """Total distinct items in the structure."""
+        return len(self.memory) + len(self.fast) + len(self.slow)
+
+    def query_cost_lower_bound(self) -> float:
+        """``(0·|M| + 1·|F| + 2·|S|) / k`` — a lower bound on the
+        expected average successful-lookup cost of *any* algorithm using
+        this layout and address function."""
+        if self.k == 0:
+            return 0.0
+        return (len(self.fast) + 2 * len(self.slow)) / self.k
+
+    def satisfies_inequality_1(self, m: int, delta: float) -> bool:
+        """Check the paper's inequality (1): ``|S| ≤ m + δk``."""
+        return len(self.slow) <= m + delta * self.k
+
+    def slow_budget(self, m: int, delta: float) -> float:
+        """The inequality-(1) headroom ``m + δk − |S|`` (negative = violated)."""
+        return m + delta * self.k - len(self.slow)
+
+
+def decompose(snapshot: LayoutSnapshot) -> ZoneDecomposition:
+    """Compute the (M, F, S) zones of a snapshot.
+
+    An item in memory is in ``M`` regardless of disk copies (querying it
+    is free).  A disk item is fast iff *some* copy lives in the block
+    its address function points at.
+    """
+    memory = frozenset(snapshot.memory_items)
+    fast: set[int] = set()
+    slow: set[int] = set()
+    # Invert the blocks map once: item -> set of blocks holding a copy.
+    holders: dict[int, set[int]] = {}
+    for bid, items in snapshot.blocks.items():
+        for x in items:
+            holders.setdefault(x, set()).add(bid)
+    for x, blocks_with_x in holders.items():
+        if x in memory:
+            continue
+        target = snapshot.address(x)
+        if target is not None and target in blocks_with_x:
+            fast.add(x)
+        else:
+            slow.add(x)
+    return ZoneDecomposition(memory=memory, fast=frozenset(fast), slow=frozenset(slow))
+
+
+@dataclass(frozen=True)
+class ZoneHistoryPoint:
+    """Zones measured at one snapshot during an insertion run."""
+
+    inserted: int
+    memory_size: int
+    fast_size: int
+    slow_size: int
+    query_lb: float
+
+    @classmethod
+    def from_zones(cls, inserted: int, z: ZoneDecomposition) -> "ZoneHistoryPoint":
+        return cls(
+            inserted=inserted,
+            memory_size=len(z.memory),
+            fast_size=len(z.fast),
+            slow_size=len(z.slow),
+            query_lb=z.query_cost_lower_bound(),
+        )
+
+
+def verify_query_claim(
+    history: list[ZoneHistoryPoint], m: int, delta: float
+) -> list[ZoneHistoryPoint]:
+    """Return the history points whose slow zone violates inequality (1).
+
+    An empty return certifies the layout *could* support
+    ``t_q ≤ 1 + δ`` at every measured snapshot; any entry is a witness
+    that it could not.
+    """
+    return [
+        pt
+        for pt in history
+        if pt.slow_size > m + delta * (pt.memory_size + pt.fast_size + pt.slow_size)
+    ]

@@ -1,0 +1,142 @@
+"""Common interface for external-memory dictionaries.
+
+Every table in this library implements :class:`ExternalDictionary`
+(insert / lookup / delete over integer keys, I/O-charged through a
+shared :class:`~repro.em.storage.EMContext`) and, for the lower-bound
+instrumentation, can export a :class:`LayoutSnapshot`: the paper's
+abstraction of a hash table as
+
+* a **memory zone** ``M`` — items resident in main memory,
+* disk blocks ``B_1 ... B_d`` — at most ``b`` items each, duplicates
+  allowed,
+* an **address function** ``f`` computable from memory — the block a
+  one-I/O lookup would probe.
+
+Items ``x`` with ``x ∈ B_{f(x)}`` form the fast zone; all other
+disk-resident items form the slow zone (≥ 2 I/Os).  The zone analyser
+in :mod:`repro.lowerbound.zones` consumes these snapshots.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from ..em.storage import EMContext
+
+
+@dataclass(frozen=True)
+class LayoutSnapshot:
+    """A frozen view of a table's item layout (the Section 2 abstraction)."""
+
+    #: Items resident in main memory (the memory zone ``M``).
+    memory_items: frozenset[int]
+    #: Disk layout: block id -> items stored in that block.
+    blocks: dict[int, tuple[int, ...]]
+    #: The one-I/O address function ``f``; ``None`` means the table would
+    #: never find this key in one probe (it is structurally slow).
+    address: Callable[[int], int | None]
+    #: Words of memory the snapshot's ``f`` needs (hash seeds, directory...).
+    address_description_words: int = 0
+
+    def disk_items(self) -> set[int]:
+        """All items stored on disk (union over blocks, deduplicated)."""
+        out: set[int] = set()
+        for items in self.blocks.values():
+            out.update(items)
+        return out
+
+    def item_count(self) -> int:
+        """Distinct items in the structure (memory or disk)."""
+        return len(self.memory_items | self.disk_items())
+
+
+@dataclass
+class TableStats:
+    """Operation counters every table maintains."""
+
+    inserts: int = 0
+    lookups: int = 0
+    hits: int = 0
+    deletes: int = 0
+    rebuilds: int = 0
+    merges: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self.extra[name] = self.extra.get(name, 0) + amount
+
+
+class ExternalDictionary(abc.ABC):
+    """A dynamic dictionary in the external-memory model.
+
+    Keys are integers in ``[0, u)``.  The paper studies the membership /
+    successful-lookup problem, so values are optional; tables that carry
+    values charge ``record_words`` per record.
+    """
+
+    def __init__(self, ctx: EMContext, *, name: str | None = None) -> None:
+        self.ctx = ctx
+        self.name = name or type(self).__name__
+        self.stats = TableStats()
+        self._size = 0
+
+    # -- required operations ----------------------------------------------
+
+    @abc.abstractmethod
+    def insert(self, key: int) -> None:
+        """Insert ``key`` (duplicate inserts are idempotent no-ops)."""
+
+    @abc.abstractmethod
+    def lookup(self, key: int) -> bool:
+        """Membership query for ``key``."""
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; returns whether it was present.
+
+        Default: unsupported (the paper's tradeoff is query--insertion).
+        """
+        raise NotImplementedError(f"{self.name} does not support deletion")
+
+    # -- instrumentation ------------------------------------------------------
+
+    @abc.abstractmethod
+    def layout_snapshot(self) -> LayoutSnapshot:
+        """Export the Section 2 abstraction of the current layout.
+
+        Must not charge any I/O (it models the analyst, not the
+        algorithm); implementations use :meth:`repro.em.disk.Disk.peek`.
+        """
+
+    @abc.abstractmethod
+    def memory_words(self) -> int:
+        """Words of main memory the table currently occupies."""
+
+    # -- shared conveniences ----------------------------------------------------
+
+    def insert_many(self, keys: Iterable[int]) -> None:
+        for k in keys:
+            self.insert(k)
+
+    def lookup_many(self, keys: Iterable[int]) -> list[bool]:
+        return [self.lookup(k) for k in keys]
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: int) -> bool:
+        return self.lookup(key)
+
+    def check_invariants(self) -> None:
+        """Optional structural self-check used by property tests."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.name}(n={self._size}, b={self.ctx.b}, m={self.ctx.m})"
+
+
+def iter_blocks_items(snapshot: LayoutSnapshot) -> Iterator[tuple[int, int]]:
+    """Yield ``(block_id, item)`` pairs from a snapshot."""
+    for bid, items in snapshot.blocks.items():
+        for x in items:
+            yield bid, x

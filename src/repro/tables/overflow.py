@@ -1,0 +1,159 @@
+"""Overflow-chain buckets.
+
+Several structures (chained hashing, linear hashing, the big table ``Ĥ``
+of Theorem 2) share the same bucket shape: one *primary* block plus a
+linked chain of *overflow* blocks, each holding up to ``b`` items, with
+the chain pointer kept in the block header (O(1) words, conventionally
+un-charged in EM analyses).
+
+:class:`ChainedBucket` encapsulates the I/O discipline:
+
+* a lookup reads the primary block, then overflow blocks until found —
+  expected ``1 + 2^{-Ω(b)}`` I/Os at constant load;
+* an insert reads/writes the first block with room (one combined I/O
+  under the footnote-2 policy), allocating a new tail block when all are
+  full.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..em.disk import Disk
+
+
+class ChainedBucket:
+    """A primary disk block with an overflow chain."""
+
+    __slots__ = ("disk", "primary", "_chain")
+
+    def __init__(self, disk: Disk) -> None:
+        self.disk = disk
+        self.primary = disk.allocate()
+        # Chain block ids, in order after the primary.  Kept in memory by
+        # the *bucket object* only as a convenience mirror of the header
+        # pointers; the I/O discipline below never uses it to skip reads.
+        self._chain: list[int] = []
+
+    # -- chain structure -----------------------------------------------------
+
+    @property
+    def block_ids(self) -> list[int]:
+        return [self.primary, *self._chain]
+
+    @property
+    def chain_length(self) -> int:
+        """Number of overflow blocks."""
+        return len(self._chain)
+
+    # -- charged operations ------------------------------------------------------
+
+    def lookup(self, key: int) -> tuple[bool, int]:
+        """Search the chain for ``key``.
+
+        Returns ``(found, ios)`` where ``ios`` is the number of blocks
+        read (the chain is walked via header pointers, so the search
+        stops one block after the hit or at the chain's end).
+        """
+        ios = 0
+        for bid in self.block_ids:
+            blk = self.disk.read(bid)
+            ios += 1
+            if key in blk:
+                return True, ios
+            if blk.header.get("next") is None:
+                break
+        return False, ios
+
+    def insert(self, key: int) -> bool:
+        """Insert ``key`` unless present; returns ``True`` if inserted.
+
+        Walks the chain once: the first block with room receives the key
+        (read + write, combining to one I/O); a full chain grows a new
+        tail block.
+        """
+        prev_bid: int | None = None
+        for bid in self.block_ids:
+            blk = self.disk.read(bid)
+            if key in blk:
+                return False
+            if not blk.full:
+                blk.append(key)
+                self.disk.write(bid, blk)
+                return True
+            prev_bid = bid
+        # Every block full: allocate a tail and link it from the last block.
+        new_bid = self.disk.allocate()
+        assert prev_bid is not None
+        with self.disk.modify(prev_bid) as prev_blk:
+            prev_blk.header["next"] = new_bid
+        with self.disk.modify(new_bid) as new_blk:
+            new_blk.append(key)
+        self._chain.append(new_bid)
+        return True
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key`` from whichever chain block holds it."""
+        for bid in self.block_ids:
+            blk = self.disk.read(bid)
+            if blk.remove(key):
+                self.disk.write(bid, blk)
+                return True
+            if blk.header.get("next") is None:
+                break
+        return False
+
+    def read_all(self) -> list[int]:
+        """Read every block of the chain (charged) and return all items."""
+        items: list[int] = []
+        for bid in self.block_ids:
+            items.extend(self.disk.read(bid).records())
+        return items
+
+    def replace_all(self, items: list[int]) -> None:
+        """Rewrite the bucket to contain exactly ``items`` (charged writes).
+
+        Packs items ``b`` per block, reusing existing chain blocks and
+        allocating/freeing as needed.
+        """
+        b = self.disk.b // self.disk.record_words
+        needed = max(1, -(-len(items) // b)) - 1  # overflow blocks needed
+        while len(self._chain) < needed:
+            self._chain.append(self.disk.allocate())
+        while len(self._chain) > needed:
+            victim = self._chain.pop()
+            self.disk.free(victim)
+        ids = self.block_ids
+        for i, bid in enumerate(ids):
+            chunk = items[i * b : (i + 1) * b]
+            blk = self.disk.peek(bid)
+            blk.replace_contents(chunk)
+            blk.header.pop("next", None)
+            if i + 1 < len(ids):
+                blk.header["next"] = ids[i + 1]
+            # No rmw invalidation: a rewrite immediately after reading
+            # the same block (the read_all → replace_all merge pattern)
+            # is footnote 2's one-I/O read-modify-write.
+            self.disk.write(bid, blk)
+
+    # -- uncharged introspection ---------------------------------------------------
+
+    def peek_all(self) -> list[int]:
+        """All items in the bucket without charging I/O (instrumentation)."""
+        items: list[int] = []
+        for bid in self.block_ids:
+            items.extend(self.disk.peek(bid).records())
+        return items
+
+    def peek_blocks(self) -> Iterator[tuple[int, tuple[int, ...]]]:
+        for bid in self.block_ids:
+            yield bid, tuple(self.disk.peek(bid).records())
+
+    def item_count(self) -> int:
+        return len(self.peek_all())
+
+    def free_all(self) -> None:
+        """Release every block of the bucket back to the disk."""
+        for bid in self.block_ids:
+            self.disk.free(bid)
+        self._chain.clear()

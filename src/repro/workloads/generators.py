@@ -1,0 +1,211 @@
+"""Seeded key-stream generators over the universe ``U = {0, ..., u-1}``.
+
+The lower bounds assume items drawn independently and uniformly from
+``U`` (Section 2); the upper bounds only need the hash values to behave
+uniformly.  Besides the uniform stream the module provides skewed and
+adversarial streams for robustness experiments:
+
+* :class:`UniformKeys` — the paper's input distribution (distinct keys;
+  ``u > n³`` makes collisions vanish by the birthday bound).
+* :class:`ZipfKeys` — heavy-tailed *distinct* keys: ranks are drawn
+  Zipf, then mapped through a fixed random permutation-ish mixer so the
+  popular ranks are scattered across ``U``.
+* :class:`SequentialKeys` — worst case for structures that don't hash.
+* :class:`ClusteredKeys` — keys concentrated in a few narrow ranges of
+  ``U`` (stress for range-partitioned baselines like the B-tree).
+* :class:`AdversarialBucketKeys` — keys engineered to collide into few
+  buckets of a *known* hash function (stress for open addressing; also
+  the "planted bad function" input of the Lemma 2 experiments).
+
+All generators yield **distinct** keys (the dynamic hash table stores a
+set) and are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+import numpy as np
+
+from ..hashing.base import HashFunction
+from ..hashing.mixers import splitmix64
+
+
+class KeyGenerator(abc.ABC):
+    """Base class: an endless stream of distinct keys in ``[0, u)``."""
+
+    def __init__(self, u: int, seed: int = 0) -> None:
+        if u <= 1:
+            raise ValueError(f"universe size must exceed 1, got {u}")
+        self.u = u
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._seen: set[int] = set()
+
+    @abc.abstractmethod
+    def _candidates(self, count: int) -> np.ndarray:
+        """Propose ``count`` candidate keys (may contain repeats)."""
+
+    def take(self, count: int) -> list[int]:
+        """The next ``count`` distinct keys."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if len(self._seen) + count > self.u:
+            raise ValueError(
+                f"cannot produce {count} more distinct keys from a universe "
+                f"of {self.u} with {len(self._seen)} already emitted"
+            )
+        out: list[int] = []
+        stall = 0
+        while len(out) < count:
+            batch = self._candidates(count - len(out) + 16)
+            fresh = 0
+            for key in batch:
+                ki = int(key)
+                if ki not in self._seen:
+                    self._seen.add(ki)
+                    out.append(ki)
+                    fresh += 1
+                    if len(out) == count:
+                        break
+            # Guard against degenerate generators that keep proposing
+            # the same exhausted support.
+            stall = stall + 1 if fresh == 0 else 0
+            if stall > 64:
+                raise RuntimeError(
+                    f"{type(self).__name__} stalled after {len(out)}/{count} keys"
+                )
+        return out
+
+    def stream(self, chunk: int = 1024) -> Iterator[int]:
+        """Endless iterator over distinct keys, fetched in ``chunk``s."""
+        while True:
+            yield from self.take(chunk)
+
+    def reset(self) -> None:
+        """Restart the stream from the seed (forgetting emitted keys)."""
+        self._rng = np.random.default_rng(self.seed)
+        self._seen.clear()
+
+
+class UniformKeys(KeyGenerator):
+    """Independent uniform keys — the paper's input model."""
+
+    def _candidates(self, count: int) -> np.ndarray:
+        return self._rng.integers(0, self.u, size=count, dtype=np.uint64)
+
+
+class SequentialKeys(KeyGenerator):
+    """``start, start+stride, start+2·stride, ...`` (mod u)."""
+
+    def __init__(self, u: int, seed: int = 0, *, start: int = 0, stride: int = 1) -> None:
+        super().__init__(u, seed)
+        if stride == 0:
+            raise ValueError("stride must be non-zero")
+        self._next = start % u
+        self.stride = stride
+
+    def _candidates(self, count: int) -> np.ndarray:
+        out = (self._next + self.stride * np.arange(count, dtype=np.int64)) % self.u
+        self._next = int((self._next + self.stride * count) % self.u)
+        return out.astype(np.uint64)
+
+
+class ZipfKeys(KeyGenerator):
+    """Zipf(θ)-distributed ranks mapped to scattered distinct keys.
+
+    Rank ``r`` maps to ``splitmix64(r) mod u`` so the heavy hitters are
+    not numerically adjacent; distinctness comes from the base class.
+    """
+
+    def __init__(self, u: int, seed: int = 0, *, theta: float = 1.2) -> None:
+        super().__init__(u, seed)
+        if theta <= 1.0:
+            raise ValueError(f"numpy's Zipf needs θ > 1, got {theta}")
+        self.theta = theta
+
+    def _candidates(self, count: int) -> np.ndarray:
+        ranks = self._rng.zipf(self.theta, size=count).astype(np.uint64)
+        mixed = np.array([splitmix64(int(r)) for r in ranks], dtype=np.uint64)
+        return mixed % np.uint64(self.u)
+
+
+class ClusteredKeys(KeyGenerator):
+    """Keys drawn from a few narrow windows of the universe."""
+
+    def __init__(
+        self,
+        u: int,
+        seed: int = 0,
+        *,
+        clusters: int = 8,
+        width: int | None = None,
+    ) -> None:
+        super().__init__(u, seed)
+        if clusters <= 0:
+            raise ValueError(f"need at least one cluster, got {clusters}")
+        self.width = width if width is not None else max(1, u // (clusters * 1000))
+        self._bases = self._rng.integers(
+            0, max(1, u - self.width), size=clusters, dtype=np.uint64
+        )
+
+    def _candidates(self, count: int) -> np.ndarray:
+        which = self._rng.integers(0, len(self._bases), size=count)
+        offs = self._rng.integers(0, self.width, size=count, dtype=np.uint64)
+        return (self._bases[which] + offs) % np.uint64(self.u)
+
+
+class AdversarialBucketKeys(KeyGenerator):
+    """Keys that collide into few buckets of a known hash function.
+
+    Performs rejection sampling against ``hash_fn.bucket(x, buckets)``,
+    keeping only keys landing in the ``hot`` lowest-numbered buckets.
+    This realises the "bad address function" geometry of Lemma 2 from
+    the input side: mass ``λ_f ≈ hot/buckets`` concentrated on an
+    ``O(hot)``-block index area.
+    """
+
+    def __init__(
+        self,
+        u: int,
+        seed: int = 0,
+        *,
+        hash_fn: HashFunction,
+        buckets: int,
+        hot: int = 1,
+    ) -> None:
+        super().__init__(u, seed)
+        if buckets <= 0 or not 0 < hot <= buckets:
+            raise ValueError(f"need 0 < hot <= buckets, got hot={hot}, buckets={buckets}")
+        self.hash_fn = hash_fn
+        self.buckets = buckets
+        self.hot = hot
+
+    def _candidates(self, count: int) -> np.ndarray:
+        # Oversample by the expected rejection factor.
+        factor = max(2, int(self.buckets / self.hot) + 1)
+        raw = self._rng.integers(0, self.u, size=count * factor, dtype=np.uint64)
+        keep = [
+            int(x) for x in raw if self.hash_fn.bucket(int(x), self.buckets) < self.hot
+        ]
+        return np.array(keep[:count] if keep else [], dtype=np.uint64)
+
+
+_GENERATORS = {
+    "uniform": UniformKeys,
+    "sequential": SequentialKeys,
+    "zipf": ZipfKeys,
+    "clustered": ClusteredKeys,
+}
+
+
+def make_generator(kind: str, u: int, seed: int = 0, **kwargs) -> KeyGenerator:
+    """Factory by name for benchmark parameterisation."""
+    try:
+        cls = _GENERATORS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown generator {kind!r}; choose from {sorted(_GENERATORS)}"
+        ) from None
+    return cls(u, seed, **kwargs)

@@ -1,0 +1,151 @@
+"""Summary statistics and cost histories for measurement runs.
+
+Everything the drivers report is an I/O *count* per operation, so the
+statistics here are over small non-negative numbers; we keep exact
+sums (Welford for variance) and raw samples where percentiles matter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class RunningStats:
+    """Streaming mean/variance (Welford) with min/max tracking."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    def add_many(self, xs) -> None:
+        for x in xs:
+            self.add(float(x))
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n−1 denominator); 0 for fewer than 2 samples."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Combine two disjoint streams (Chan's parallel update)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            return self
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta**2 * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample of per-op I/O costs."""
+
+    count: int
+    mean: float
+    std: float
+    min: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    def row(self) -> dict[str, float | int]:
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 6),
+            "std": round(self.std, 6),
+            "min": self.min,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+
+def summarize(samples) -> Summary:
+    """Summary statistics of an iterable of numbers."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        min=float(arr.min()),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        p99=float(np.percentile(arr, 99)),
+        max=float(arr.max()),
+    )
+
+
+@dataclass
+class CostHistory:
+    """Amortized-cost trajectory over an insertion run.
+
+    Each checkpoint records the cumulative I/O total after ``inserted``
+    items, so the amortized cost between consecutive checkpoints (and
+    overall) can be recovered exactly.
+    """
+
+    checkpoints: list[tuple[int, int]] = field(default_factory=list)
+
+    def record(self, inserted: int, io_total: int) -> None:
+        if self.checkpoints and inserted < self.checkpoints[-1][0]:
+            raise ValueError("checkpoints must be recorded in insertion order")
+        self.checkpoints.append((inserted, io_total))
+
+    def amortized(self) -> float:
+        """Overall amortized I/Os per insertion."""
+        if not self.checkpoints:
+            return 0.0
+        n, total = self.checkpoints[-1]
+        return total / n if n else 0.0
+
+    def windowed(self) -> list[tuple[int, float]]:
+        """Per-window amortized cost: ``(end_n, window_cost)`` pairs."""
+        out: list[tuple[int, float]] = []
+        prev_n, prev_io = 0, 0
+        for n, io in self.checkpoints:
+            dn = n - prev_n
+            if dn > 0:
+                out.append((n, (io - prev_io) / dn))
+            prev_n, prev_io = n, io
+        return out
+
+    def rows(self) -> list[dict[str, float | int]]:
+        return [
+            {"inserted": n, "amortized_window": round(c, 6)}
+            for n, c in self.windowed()
+        ]

@@ -1,0 +1,231 @@
+"""Operation traces: mixed workloads, recording, replay.
+
+The measurement drivers in :mod:`repro.workloads.drivers` separate
+insert and query phases because that is how the paper defines ``t_u``
+and ``t_q``.  Real deployments interleave; this module provides
+
+* :class:`MixedWorkload` — a seeded generator of interleaved
+  insert / successful-lookup / unsuccessful-lookup / delete operations
+  with configurable mix ratios,
+* :func:`replay` — drive any :class:`ExternalDictionary` with a trace,
+  returning per-operation-type I/O cost summaries,
+* :func:`save_trace` / :func:`load_trace` — a one-op-per-line text
+  format so experiments can be pinned to an exact operation sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..tables.base import ExternalDictionary
+from .generators import KeyGenerator, UniformKeys
+from .metrics import Summary, summarize
+
+#: Operation kinds.
+INSERT = "i"
+LOOKUP_HIT = "q"
+LOOKUP_MISS = "n"
+DELETE = "d"
+
+_KINDS = (INSERT, LOOKUP_HIT, LOOKUP_MISS, DELETE)
+
+
+@dataclass(frozen=True)
+class Op:
+    """One trace operation."""
+
+    kind: str
+    key: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown op kind {self.kind!r}; expected one of {_KINDS}")
+        if self.key < 0:
+            raise ValueError(f"keys are non-negative integers, got {self.key}")
+
+
+class MixedWorkload:
+    """Seeded interleaved workload over a key generator.
+
+    Parameters
+    ----------
+    generator:
+        Source of fresh distinct keys (consumed by inserts and
+        unsuccessful lookups).
+    mix:
+        Probability weights for (insert, hit-lookup, miss-lookup,
+        delete).  Hit-lookups and deletes target uniformly random
+        *live* keys; while nothing is live they fall back to inserts.
+    seed:
+        Mix-choice randomness (independent of the generator's seed).
+    """
+
+    def __init__(
+        self,
+        generator: KeyGenerator,
+        *,
+        mix: tuple[float, float, float, float] = (0.5, 0.4, 0.05, 0.05),
+        seed: int = 0,
+    ) -> None:
+        if len(mix) != 4 or any(w < 0 for w in mix) or sum(mix) <= 0:
+            raise ValueError(f"mix must be 4 non-negative weights, got {mix}")
+        self.generator = generator
+        self.weights = np.asarray(mix, dtype=float) / sum(mix)
+        self._rng = np.random.default_rng(seed)
+        self._live: list[int] = []
+        self._live_set: set[int] = set()
+
+    def ops(self, count: int) -> Iterator[Op]:
+        """Generate ``count`` operations."""
+        for _ in range(count):
+            kind = _KINDS[int(self._rng.choice(4, p=self.weights))]
+            if kind in (LOOKUP_HIT, DELETE) and not self._live:
+                kind = INSERT
+            if kind == INSERT:
+                key = self.generator.take(1)[0]
+                self._live.append(key)
+                self._live_set.add(key)
+                yield Op(INSERT, key)
+            elif kind == LOOKUP_HIT:
+                key = self._live[int(self._rng.integers(0, len(self._live)))]
+                yield Op(LOOKUP_HIT, key)
+            elif kind == LOOKUP_MISS:
+                yield Op(LOOKUP_MISS, self.generator.take(1)[0])
+            else:
+                idx = int(self._rng.integers(0, len(self._live)))
+                key = self._live[idx]
+                self._live[idx] = self._live[-1]
+                self._live.pop()
+                self._live_set.discard(key)
+                yield Op(DELETE, key)
+
+    def take(self, count: int) -> list[Op]:
+        return list(self.ops(count))
+
+    @property
+    def live_keys(self) -> int:
+        return len(self._live)
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Per-kind I/O summaries from one trace replay."""
+
+    total_ops: int
+    total_ios: int
+    per_kind: dict[str, Summary]
+    errors: int
+
+    @property
+    def amortized(self) -> float:
+        return self.total_ios / self.total_ops if self.total_ops else 0.0
+
+    def rows(self) -> list[dict[str, float | int | str]]:
+        names = {
+            INSERT: "insert",
+            LOOKUP_HIT: "lookup-hit",
+            LOOKUP_MISS: "lookup-miss",
+            DELETE: "delete",
+        }
+        out: list[dict[str, float | int | str]] = []
+        for kind, summ in self.per_kind.items():
+            if summ.count == 0:
+                continue
+            out.append(
+                {
+                    "op": names[kind],
+                    "count": summ.count,
+                    "mean I/Os": round(summ.mean, 4),
+                    "p99 I/Os": summ.p99,
+                }
+            )
+        return out
+
+
+def replay(
+    table: ExternalDictionary, trace: Iterable[Op], *, strict: bool = True
+) -> ReplayReport:
+    """Drive ``table`` with ``trace``, measuring each op's I/O delta.
+
+    With ``strict`` the replay asserts semantic correctness: hit-lookups
+    must hit, miss-lookups must miss, deletes must remove (tables
+    without delete support raise ``NotImplementedError`` — filter the
+    trace first or set ``strict=False`` to count the failure and skip).
+    """
+    ctx = table.ctx
+    costs: dict[str, list[int]] = {k: [] for k in _KINDS}
+    errors = 0
+    total = 0
+    before_all = ctx.stats.snapshot()
+    for op in trace:
+        total += 1
+        before = ctx.stats.snapshot()
+        try:
+            if op.kind == INSERT:
+                table.insert(op.key)
+            elif op.kind == LOOKUP_HIT:
+                found = table.lookup(op.key)
+                if strict and not found:
+                    raise AssertionError(f"expected hit on {op.key}")
+            elif op.kind == LOOKUP_MISS:
+                found = table.lookup(op.key)
+                if strict and found:
+                    raise AssertionError(f"expected miss on {op.key}")
+            else:
+                removed = table.delete(op.key)
+                if strict and not removed:
+                    raise AssertionError(f"expected delete of {op.key}")
+        except (NotImplementedError, AssertionError):
+            if strict:
+                raise
+            errors += 1
+            continue
+        costs[op.kind].append(ctx.stats.delta_since(before).total)
+    return ReplayReport(
+        total_ops=total,
+        total_ios=ctx.stats.delta_since(before_all).total,
+        per_kind={k: summarize(v) for k, v in costs.items()},
+        errors=errors,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Persistence
+# ---------------------------------------------------------------------------
+
+def save_trace(trace: Iterable[Op], path: str | Path) -> int:
+    """Write a trace as ``<kind> <key>`` lines; returns ops written."""
+    path = Path(path)
+    count = 0
+    with path.open("w") as fh:
+        for op in trace:
+            fh.write(f"{op.kind} {op.key}\n")
+            count += 1
+    return count
+
+
+def load_trace(path: str | Path) -> list[Op]:
+    """Read a trace written by :func:`save_trace`."""
+    out: list[Op] = []
+    with Path(path).open() as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"{path}:{line_no}: malformed trace line {line!r}")
+            out.append(Op(parts[0], int(parts[1])))
+    return out
+
+
+def uniform_mixed_trace(
+    u: int, count: int, *, seed: int = 0, mix=(0.5, 0.4, 0.05, 0.05)
+) -> list[Op]:
+    """Convenience: a mixed trace over uniform keys."""
+    wl = MixedWorkload(UniformKeys(u, seed), mix=mix, seed=seed + 1)
+    return wl.take(count)

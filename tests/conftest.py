@@ -1,0 +1,47 @@
+"""Shared fixtures: contexts, hash functions, key streams.
+
+Tests use small ``(b, m)`` so structural edge cases (splits, merges,
+round boundaries) are hit with thousands — not millions — of keys.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.em import make_context
+from repro.hashing.family import MULTIPLY_SHIFT
+
+
+@pytest.fixture
+def ctx():
+    """A small default context: b=32, m=512."""
+    return make_context(b=32, m=512)
+
+
+@pytest.fixture
+def big_ctx():
+    """A roomier context for structures needing more memory."""
+    return make_context(b=64, m=4096)
+
+
+@pytest.fixture
+def hash_fn(ctx):
+    return MULTIPLY_SHIFT.sample(ctx.u, seed=1234)
+
+
+@pytest.fixture
+def keys():
+    """2000 distinct pseudo-random keys, deterministic across runs."""
+    return random.Random(0xC0FFEE).sample(range(10**12), 2000)
+
+
+@pytest.fixture
+def small_keys():
+    """300 distinct keys for expensive structures."""
+    return random.Random(0xBEEF).sample(range(10**12), 300)
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running statistical test")

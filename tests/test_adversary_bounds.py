@@ -1,0 +1,149 @@
+"""Unit tests for the round adversary driver and Theorem 1 bound forms."""
+
+import math
+
+import pytest
+
+from repro.em import make_context
+from repro.hashing.family import MULTIPLY_SHIFT
+from repro.core.config import LowerBoundParams
+from repro.lowerbound.adversary import KeyStream, run_adversary
+from repro.lowerbound.bounds import (
+    amortized_bound,
+    chernoff_bad_function_tail,
+    family_union_bound,
+    minimum_n,
+    round_bound,
+    theorem1_statement,
+)
+from repro.tables.chaining import ChainedHashTable
+
+
+class TestKeyStream:
+    def test_distinct_keys(self):
+        ks = KeyStream(2**40, seed=1)
+        batch = ks.take(1000)
+        assert len(set(batch)) == 1000
+
+    def test_distinct_across_batches(self):
+        ks = KeyStream(2**40, seed=1)
+        a = ks.take(500)
+        b = ks.take(500)
+        assert not set(a) & set(b)
+
+    def test_deterministic(self):
+        assert KeyStream(2**40, 7).take(100) == KeyStream(2**40, 7).take(100)
+
+
+class TestRoundBounds:
+    def test_case1_round_bound_positive_in_regime(self):
+        """Case 1's constants only bite for large b (φ = b^{-(c-1)/4}
+        must be ≪ 1/2); at b = 2^16, c = 2 we have φ = 1/16."""
+        b, m = 2**16, 64
+        n = minimum_n(b, m, 2.0)
+        p = LowerBoundParams.case1(b, n, 2.0)
+        rb = round_bound(p, n, m, b)
+        assert rb.route == "lemma3"
+        assert rb.expected_round_cost > 0.5 * p.s
+        assert rb.failure_probability < 1.0
+
+    def test_case1_round_bound_saturates_for_small_b(self):
+        """For small b the case-1 guarantee is vacuous, not crashing:
+        φ > 1/2 pushes the failure probability to 1."""
+        b, m = 64, 64
+        n = minimum_n(b, m, 1.5)
+        p = LowerBoundParams.case1(b, n, 1.5)
+        rb = round_bound(p, n, m, b)
+        assert rb.failure_probability == 1.0
+
+    def test_case3_round_bound_uses_lemma4(self):
+        b, m = 64, 64
+        n = minimum_n(b, m, 0.5)
+        p = LowerBoundParams.case3(b, n, 0.5)
+        rb = round_bound(p, n, m, b)
+        assert rb.route == "lemma4"
+        assert rb.expected_round_cost > 0
+
+    def test_amortized_bound_case1_near_one(self):
+        """Case 1 amortized lower bound → 1 − O(1/b^{(c−1)/4}) as b grows."""
+        m, c = 64, 2.0
+        small_b, big_b = 2**12, 2**20
+        vals = {}
+        for b in (small_b, big_b):
+            n = minimum_n(b, m, c)
+            p = LowerBoundParams.case1(b, n, c)
+            vals[b] = amortized_bound(p, n, m, b)
+        assert vals[big_b] > 0.5
+        assert vals[big_b] > vals[small_b]  # tightens toward 1 with b
+
+    def test_amortized_bound_case3_matches_b_power(self):
+        """Case 3 amortized bound scales like b^{c−1}."""
+        m, c = 64, 0.5
+        vals = {}
+        for b in (64, 256):
+            n = minimum_n(b, m, c)
+            p = LowerBoundParams.case3(b, n, c)
+            vals[b] = amortized_bound(p, n, m, b)
+        # b^{c-1} = b^{-1/2}: quadrupling b should halve the bound (±50%).
+        ratio = vals[64] / vals[256]
+        assert 1.3 < ratio < 3.0
+
+    def test_statements_render(self):
+        assert "c>1" in theorem1_statement(64, 1.5)
+        assert "Ω(1)" in theorem1_statement(64, 1.0)
+        assert "c<1" in theorem1_statement(64, 0.5)
+
+    def test_union_bound_log_space(self):
+        # Family of 2^{64·61} functions needs a tail below 2^{-3904}.
+        tail = chernoff_bad_function_tail(phi=0.1, n=10**7)
+        assert family_union_bound(64, 2**61 - 1, tail) == 0.0
+        assert family_union_bound(64, 2**61 - 1, 0.5) == 1.0
+
+
+class TestRunAdversary:
+    @pytest.fixture
+    def report(self):
+        """A small end-to-end adversary run against blocked chaining."""
+        # The proof's regime needs far more blocks than the round size s,
+        # else Z is capped at the bucket count instead of ≈ s.
+        ctx = make_context(b=16, m=8192, u=2**40)
+        h = MULTIPLY_SHIFT.sample(ctx.u, seed=2)
+        table = ChainedHashTable(ctx, h, buckets=4096, max_load=None)
+        n = 2000
+        params = LowerBoundParams(delta=1 / 16, phi=0.1, rho=0.01, s=200, case=2)
+        return run_adversary(table, ctx, params, n, seed=3)
+
+    def test_round_structure(self, report):
+        free = int(0.1 * 2000)
+        assert report.free_items == free
+        assert len(report.rounds) == (2000 - free) // 200
+        assert all(r.items == 200 for r in report.rounds)
+
+    def test_costs_accumulated(self, report):
+        assert report.total_ios == sum(r.actual_ios for r in report.rounds)
+        assert report.measured_tu > 0
+
+    def test_certificate_never_exceeds_actual(self, report):
+        """Z (distinct fast-zone addresses) is a *lower* bound on the
+        round's I/Os — the heart of the proof — so it must not exceed
+        what the table actually spent."""
+        for r in report.rounds:
+            assert r.certified_lb <= r.actual_ios
+
+    def test_standard_table_certified_near_one_per_item(self, report):
+        """For the 1-I/O-query chaining table the certificate should
+        capture most of the insertion cost."""
+        assert report.certified_tu > 0.5
+
+    def test_zone_sizes_recorded(self, report):
+        for r in report.rounds:
+            assert r.fast_zone + r.slow_zone + r.memory_zone >= r.items
+            assert r.query_lb >= 0
+
+    def test_max_rounds_truncation(self):
+        ctx = make_context(b=16, m=128, u=2**40)
+        h = MULTIPLY_SHIFT.sample(ctx.u, seed=2)
+        table = ChainedHashTable(ctx, h, buckets=64, max_load=None)
+        params = LowerBoundParams(delta=1 / 16, phi=0.1, rho=0.01, s=100, case=2)
+        rep = run_adversary(table, ctx, params, 2000, seed=3, max_rounds=3)
+        assert len(rep.rounds) == 3

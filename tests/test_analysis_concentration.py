@@ -1,0 +1,125 @@
+"""Unit tests for the concentration-bound toolkit."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.concentration import (
+    binomial_lower_tail_exact,
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    dominated_bernoulli_lower_bound,
+    empirical_dominates,
+    lemma2_failure_probability,
+    lemma2_per_function_tail,
+    lemma3_failure_probability,
+    lemma4_counting_bound,
+    lemma4_failure_probability,
+    log2_family_size,
+    log2_union_bound,
+    union_bound,
+)
+
+
+class TestChernoff:
+    def test_lower_tail_dominates_exact_binomial(self):
+        """Chernoff must upper-bound the true binomial tail."""
+        n, p = 1000, 0.3
+        mean = n * p
+        for eps in (0.1, 0.2, 0.5):
+            bound = chernoff_lower_tail(mean, eps)
+            exact = binomial_lower_tail_exact(n, p, (1 - eps) * mean)
+            assert exact <= bound + 1e-12
+
+    def test_upper_tail_dominates_exact(self):
+        from scipy import stats
+
+        n, p = 1000, 0.3
+        mean = n * p
+        for eps in (0.1, 0.5, 1.0):
+            bound = chernoff_upper_tail(mean, eps)
+            exact = float(stats.binom.sf(math.floor((1 + eps) * mean), n, p))
+            assert exact <= bound + 1e-12
+
+    def test_tails_shrink_with_mean(self):
+        assert chernoff_lower_tail(1000, 0.1) < chernoff_lower_tail(100, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chernoff_lower_tail(10, 1.5)
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(10, 0.0)
+        with pytest.raises(ValueError):
+            chernoff_lower_tail(-1, 0.5)
+
+
+class TestUnionBounds:
+    def test_basic(self):
+        assert union_bound(10, 0.01) == pytest.approx(0.1)
+        assert union_bound(1000, 0.01) == 1.0
+        assert union_bound(math.inf, 0.0) == 0.0
+        assert union_bound(math.inf, 0.5) == 1.0
+
+    def test_log2_union_bound(self):
+        # 2^10 events at e^-20 each: 10 + (-20/ln2) ≈ -18.9 → 2^-18.9.
+        p = log2_union_bound(10.0, -20.0)
+        assert p == pytest.approx(2 ** (10 - 20 / math.log(2)))
+
+    def test_log2_union_bound_saturation(self):
+        assert log2_union_bound(100.0, -1.0) == 1.0
+        assert log2_union_bound(10.0, -5000.0) == 0.0
+
+    def test_family_size(self):
+        assert log2_family_size(64, 2**61 - 1) == pytest.approx(
+            64 * math.log2(2**61 - 1)
+        )
+
+
+class TestPaperBounds:
+    def test_lemma2_failure_vanishes_in_regime(self):
+        """n ≫ m·b^{1+2c}: the union bound crushes the family size."""
+        b, m, u = 64, 64, 2**61 - 1
+        n = 10 * m * b**3  # c = 1 regime
+        assert lemma2_failure_probability(1 / 4, n, m, u) < 1e-9
+
+    def test_lemma2_failure_saturates_for_tiny_n(self):
+        assert lemma2_failure_probability(0.01, 1000, 64, 2**61 - 1) == 1.0
+
+    def test_per_function_tail_is_log(self):
+        assert lemma2_per_function_tail(0.5, 1800) == pytest.approx(-25.0)
+
+    def test_lemma3_matches_binball_module(self):
+        from repro.lowerbound.binball import lemma3_failure_probability as lb3
+
+        assert lemma3_failure_probability(500, 0.2) == pytest.approx(lb3(500, 0.2))
+
+    def test_lemma4_counting_bound_small_for_big_s(self):
+        assert lemma4_counting_bound(400, 0.01) < 1e-6
+        assert lemma4_counting_bound(4, 0.4) <= 1.0
+
+    def test_lemma4_tail_monotone(self):
+        assert lemma4_failure_probability(200) < lemma4_failure_probability(50)
+
+
+class TestDomination:
+    def test_threshold_formula(self):
+        assert dominated_bernoulli_lower_bound(100, 0.1, 0.2) == pytest.approx(
+            0.8 * 0.9 * 100
+        )
+
+    def test_empirical_domination_obvious_case(self):
+        rng = np.random.default_rng(0)
+        hi = rng.normal(10, 1, size=2000)
+        lo = rng.normal(5, 1, size=2000)
+        assert empirical_dominates(hi, lo)
+        assert not empirical_dominates(lo, hi)
+
+    def test_empirical_domination_reflexive_with_slack(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, size=2000)
+        assert empirical_dominates(x, x)
+
+    def test_constant_samples(self):
+        x = np.full(10, 3.0)
+        assert empirical_dominates(x, x)

@@ -1,0 +1,129 @@
+"""Unit tests for the Knuth §6.4 query-cost numerics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.knuth import (
+    binomial_bucket_pmf,
+    expected_chain_blocks,
+    expected_successful_cost,
+    expected_unsuccessful_cost,
+    knuth_table,
+    overflow_exponent,
+    overflow_probability,
+    poisson_bucket_pmf,
+)
+
+
+class TestOccupancyPMFs:
+    def test_poisson_pmf_sums_to_one(self):
+        pmf = poisson_bucket_pmf(0.8, 64)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_poisson_mean(self):
+        pmf = poisson_bucket_pmf(0.5, 100)
+        mean = float(np.dot(pmf, np.arange(len(pmf))))
+        assert mean == pytest.approx(50.0, rel=1e-9)
+
+    def test_binomial_pmf_matches_poisson_limit(self):
+        """Binomial(n, 1/d) → Poisson(n/d) for large n, d."""
+        b = 32
+        pois = poisson_bucket_pmf(0.5, b)
+        binom = binomial_bucket_pmf(n=160_000, d=10_000, b=b)
+        k = min(len(pois), len(binom))
+        assert np.abs(pois[:k] - binom[:k]).max() < 1e-3
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            poisson_bucket_pmf(-0.1, 64)
+
+
+class TestQueryCosts:
+    def test_empty_table_costs_one(self):
+        assert expected_successful_cost(0.0, 64) == 1.0
+
+    def test_half_load_is_almost_one(self):
+        """The paper's headline: t_q = 1 + 1/2^Ω(b) at moderate load."""
+        t = expected_successful_cost(0.5, 128)
+        # The true excess (~2^-47) is below double rounding noise, so
+        # equality-to-1 within 1e-12 is the observable statement.
+        assert t == pytest.approx(1.0, abs=1e-12)
+        # At a smaller b the excess is visible and positive.
+        t32 = expected_successful_cost(0.5, 32)
+        assert 1.0 < t32 < 1.001
+
+    def test_excess_decays_exponentially_in_b(self):
+        """Doubling b should at least square away the excess."""
+        e32 = expected_successful_cost(0.7, 32) - 1
+        e64 = expected_successful_cost(0.7, 64) - 1
+        e128 = expected_successful_cost(0.7, 128) - 1
+        assert e64 < e32 / 4
+        assert e128 < e64 / 4
+
+    def test_cost_increases_with_load(self):
+        costs = [expected_successful_cost(a, 64) for a in (0.5, 0.7, 0.9, 0.99)]
+        assert costs == sorted(costs)
+
+    def test_exact_binomial_close_to_poisson(self):
+        pois = expected_successful_cost(0.8, 32)
+        exact = expected_successful_cost(0.8, 32, n=25_600, d=1000)
+        assert exact == pytest.approx(pois, abs=1e-3)
+
+    def test_unsuccessful_at_least_one(self):
+        assert expected_unsuccessful_cost(0.0, 64) == pytest.approx(1.0)
+        assert expected_unsuccessful_cost(0.9, 64) >= 1.0
+
+    def test_unsuccessful_geq_chain_blocks_intuition(self):
+        """Unsuccessful lookups read whole chains: ≥ E[blocks]·P[occupied]."""
+        a, b = 0.9, 16
+        assert expected_unsuccessful_cost(a, b) >= expected_chain_blocks(a, b) - 1e-9
+
+    def test_tiny_block_degenerates_to_chaining(self):
+        """b = 1 is classic per-item chaining: costs grow with α."""
+        t = expected_successful_cost(0.9, 1)
+        assert t > 1.2
+
+
+class TestOverflow:
+    def test_overflow_probability_decreasing_in_b(self):
+        ps = [overflow_probability(0.8, b) for b in (16, 32, 64, 128, 256)]
+        assert ps == sorted(ps, reverse=True)
+        assert ps[-1] < 1e-2
+
+    def test_overflow_exponent_positive_below_one(self):
+        assert overflow_exponent(0.5) > 0
+        assert overflow_exponent(0.99) > 0
+        assert overflow_exponent(1.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_overflow_matches_exponent_asymptotics(self):
+        """−log₂ P[X > b] / b ≈ rate for large b."""
+        alpha = 0.5
+        rate = overflow_exponent(alpha)
+        b = 512
+        measured = -math.log2(overflow_probability(alpha, b)) / b
+        assert measured == pytest.approx(rate, rel=0.2)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            overflow_exponent(0.0)
+
+
+class TestReferenceTable:
+    def test_table_rows_complete(self):
+        rows = knuth_table(b_values=[16, 64], alphas=[0.5, 0.9])
+        assert len(rows) == 4
+        for row in rows:
+            assert row.successful >= 1.0
+            assert row.unsuccessful >= 1.0
+            assert 0 <= row.overflow <= 1
+
+    def test_excess_bits_scale_with_b(self):
+        rows = {r.b: r for r in knuth_table(b_values=[32, 128], alphas=[0.5])}
+        assert rows[128].excess_bits > rows[32].excess_bits
+
+    def test_excess_bits_infinite_when_exact_one(self):
+        rows = knuth_table(b_values=[1024], alphas=[0.5])
+        # At b=1024 and α=0.5 the excess underflows double precision.
+        assert rows[0].excess_bits == math.inf or rows[0].excess_bits > 100

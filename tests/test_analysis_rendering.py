@@ -1,0 +1,53 @@
+"""Unit tests for the table/figure renderers."""
+
+from repro.analysis.tradeoff_curves import format_rows, render_figure1, tradeoff_table
+from repro.core.tradeoff import TradeoffCurves, figure1_curves
+
+
+class TestFormatRows:
+    def test_empty(self):
+        assert format_rows([]) == "(no rows)"
+
+    def test_alignment_and_headers(self):
+        rows = [{"name": "a", "value": 1.5}, {"name": "long-name", "value": 22.25}]
+        out = format_rows(rows)
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "value" in lines[0]
+        assert len(lines) == 4  # header + separator + 2 rows
+        # All lines equally wide (aligned columns).
+        assert len({len(line.rstrip()) for line in lines[2:]}) <= 2
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        out = format_rows(rows, columns=["b"])
+        assert "a" not in out.splitlines()[0]
+
+    def test_float_formatting(self):
+        out = format_rows([{"x": 0.123456789}], float_fmt="{:.2f}")
+        assert "0.12" in out
+
+
+class TestFigureRendering:
+    def test_render_contains_envelopes_and_boundary(self):
+        curves = figure1_curves(128, 10**6, 4096)
+        art = render_figure1(curves)
+        assert "L" in art and "U" in art
+        assert "|" in art  # the c = 1 boundary
+        assert "c=1 boundary" in art
+
+    def test_render_includes_measured_points(self):
+        curves = figure1_curves(128, 10**6, 4096)
+        curves.add_measured(0.5, 1.01, 0.3, "buffered")
+        art = render_figure1(curves)
+        assert "*" in art
+
+    def test_render_empty(self):
+        curves = TradeoffCurves(b=8, n=1, m=1)
+        assert render_figure1(curves) == "(no points)"
+
+    def test_tradeoff_table_rows_sorted_by_c(self):
+        curves = figure1_curves(64, 10**5, 512)
+        table = tradeoff_table(curves)
+        assert "t_q" in table.splitlines()[0]
+        assert len(table.splitlines()) > 10

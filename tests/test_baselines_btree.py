@@ -1,0 +1,165 @@
+"""Unit tests for the external B-tree."""
+
+import random
+
+import pytest
+
+from repro.em import ConfigurationError, make_context
+from repro.baselines.btree import BTree
+
+
+def build(b=32, m=512, **kw):
+    ctx = make_context(b=b, m=m)
+    return ctx, BTree(ctx, **kw)
+
+
+class TestInsertLookup:
+    def test_roundtrip(self, keys):
+        _, t = build()
+        t.insert_many(keys)
+        assert len(t) == len(keys)
+        assert all(t.lookup(k) for k in keys[::13])
+        t.check_invariants()
+
+    def test_sorted_insertion_order(self):
+        """Ascending inserts are the classic split-heavy path."""
+        _, t = build(b=8)
+        ks = list(range(1000))
+        t.insert_many(ks)
+        t.check_invariants()
+        assert all(t.lookup(k) for k in ks[::37])
+
+    def test_reverse_sorted_insertion(self):
+        _, t = build(b=8)
+        ks = list(range(1000, 0, -1))
+        t.insert_many(ks)
+        t.check_invariants()
+        assert all(t.lookup(k) for k in ks[::37])
+
+    def test_duplicates_noop(self):
+        _, t = build()
+        t.insert(5)
+        t.insert(5)
+        assert len(t) == 1
+
+    def test_absent(self, keys):
+        _, t = build()
+        t.insert_many(keys[:500])
+        assert not any(t.lookup(k) for k in range(10**13, 10**13 + 50))
+
+    def test_height_grows_logarithmically(self, keys):
+        _, t = build(b=8)
+        t.insert_many(keys)
+        # max_keys = 2·(8//4)+1 = 5 per node; 2000 keys need height ≥ 4;
+        # a balanced tree stays well under 12.
+        assert 3 <= t.height <= 12
+
+    def test_min_keys_validation(self):
+        ctx = make_context(b=8, m=512)
+        with pytest.raises(ConfigurationError):
+            BTree(ctx, min_keys=10)  # 2·10+1 > 8
+
+
+class TestDeletion:
+    def test_delete_from_leaves(self, keys):
+        _, t = build()
+        t.insert_many(keys[:500])
+        for k in keys[:100]:
+            assert t.delete(k)
+        t.check_invariants()
+        assert len(t) == 400
+        assert not any(t.lookup(k) for k in keys[:100])
+        assert all(t.lookup(k) for k in keys[100:500])
+
+    def test_delete_absent(self, keys):
+        _, t = build()
+        t.insert_many(keys[:50])
+        assert not t.delete(10**15)
+        assert len(t) == 50
+
+    def test_delete_internal_separators(self):
+        """Deleting every other key forces separator replacement and
+        borrow/merge traffic."""
+        _, t = build(b=8)
+        ks = list(range(2000))
+        t.insert_many(ks)
+        random.Random(5).shuffle(ks)
+        for k in ks[:1500]:
+            assert t.delete(k)
+        t.check_invariants()
+        survivors = ks[1500:]
+        assert all(t.lookup(k) for k in survivors)
+        assert len(t) == 500
+
+    def test_delete_everything(self):
+        _, t = build(b=8)
+        ks = list(range(300))
+        t.insert_many(ks)
+        for k in ks:
+            assert t.delete(k)
+        assert len(t) == 0
+        t.check_invariants()
+        # Tree is reusable afterwards.
+        t.insert_many(range(500, 550))
+        assert all(t.lookup(k) for k in range(500, 550))
+
+    def test_root_shrinks_on_mass_delete(self):
+        _, t = build(b=8)
+        t.insert_many(range(1000))
+        h_full = t.height
+        for k in range(990):
+            t.delete(k)
+        assert t.height <= h_full
+        t.check_invariants()
+
+
+class TestCosts:
+    def test_lookup_costs_height_minus_one(self, keys):
+        """Root is memory-pinned: a lookup reads height−1 blocks."""
+        ctx, t = build(b=8)
+        t.insert_many(keys)
+        before = ctx.stats.snapshot()
+        sample = keys[::41]
+        for k in sample:
+            t.lookup(k)
+        avg = ctx.stats.delta_since(before).total / len(sample)
+        assert avg <= t.height - 1 + 0.01
+        assert avg >= 1.0
+
+    def test_insert_cost_at_least_one_io(self, keys):
+        """The ordered-baseline contrast: every insert pays ≥ ~1 I/O."""
+        ctx, t = build(b=32)
+        t.insert_many(keys[:1000])
+        assert ctx.io_total() / 1000 >= 0.9
+
+    def test_memory_is_root_only(self, keys):
+        ctx, t = build()
+        t.insert_many(keys[:1000])
+        assert ctx.memory.within_budget()
+        assert t.memory_words() <= 2 * t.max_keys + 4
+
+
+class TestSnapshot:
+    def test_snapshot_complete(self, keys):
+        _, t = build()
+        t.insert_many(keys[:400])
+        snap = t.layout_snapshot()
+        assert snap.item_count() == 400
+
+    def test_tall_tree_has_no_one_io_address(self, keys):
+        """Height > 2: f must return None — B-trees are structurally
+        ≥ 2 I/Os per disk item, the paper's foil."""
+        _, t = build(b=8)
+        t.insert_many(keys)
+        assert t.height > 2
+        snap = t.layout_snapshot()
+        assert all(snap.address(k) is None for k in keys[:20])
+
+    def test_height_two_tree_is_one_io(self):
+        _, t = build(b=32)
+        t.insert_many(range(100))
+        if t.height == 2:
+            snap = t.layout_snapshot()
+            on_disk = snap.disk_items()
+            hits = [k for k in on_disk if snap.address(k) is not None]
+            assert len(hits) == len(on_disk)

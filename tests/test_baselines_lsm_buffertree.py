@@ -1,0 +1,181 @@
+"""Unit tests for the LSM-tree and buffer-tree baselines."""
+
+import math
+
+import pytest
+
+from repro.em import ConfigurationError, make_context
+from repro.baselines.buffer_tree import BufferTree
+from repro.baselines.lsm import LSMTree
+
+
+class TestLSMBasics:
+    def test_roundtrip(self, keys):
+        ctx = make_context(b=32, m=512)
+        t = LSMTree(ctx)
+        t.insert_many(keys)
+        assert len(t) == len(keys)
+        assert all(t.lookup(k) for k in keys[::13])
+        t.check_invariants()
+
+    def test_absent(self, keys):
+        ctx = make_context(b=32, m=512)
+        t = LSMTree(ctx)
+        t.insert_many(keys[:600])
+        assert not any(t.lookup(k) for k in range(10**13, 10**13 + 40))
+
+    def test_duplicates_noop(self, keys):
+        ctx = make_context(b=32, m=512)
+        t = LSMTree(ctx)
+        t.insert_many(keys[:100])
+        t.insert_many(keys[:100])
+        assert len(t) == 100
+        t.check_invariants()
+
+    def test_duplicate_after_flush_noop(self):
+        ctx = make_context(b=16, m=64)
+        t = LSMTree(ctx, memtable_items=8)
+        ks = list(range(1000, 1032))
+        t.insert_many(ks)  # several flushes
+        t.insert_many(ks)  # duplicates now live in levels
+        assert len(t) == len(ks)
+        t.check_invariants()
+
+    def test_gamma_validation(self):
+        ctx = make_context(b=32, m=512)
+        with pytest.raises(ConfigurationError):
+            LSMTree(ctx, gamma=1)
+
+
+class TestLSMStructure:
+    def test_levels_grow_geometrically(self, keys):
+        ctx = make_context(b=32, m=128)
+        t = LSMTree(ctx, gamma=3, memtable_items=32)
+        t.insert_many(keys)
+        sizes = t.level_sizes()
+        for k, size in enumerate(sizes):
+            assert size <= t.level_capacity(k)
+
+    def test_insert_cost_o1(self, keys):
+        """The LSM headline: amortized o(1) inserts."""
+        ctx = make_context(b=64, m=1024)
+        t = LSMTree(ctx, gamma=4)
+        t.insert_many(keys)
+        assert ctx.io_total() / len(keys) < 0.6
+
+    def test_lookup_cost_bounded_by_depth(self, keys):
+        ctx = make_context(b=32, m=256)
+        t = LSMTree(ctx, gamma=4, memtable_items=64)
+        t.insert_many(keys)
+        before = ctx.stats.snapshot()
+        sample = keys[::41]
+        for k in sample:
+            assert t.lookup(k)
+        avg = ctx.stats.delta_since(before).total / len(sample)
+        assert avg <= t.depth
+
+    def test_bloom_filters_cut_lookup_probes(self, keys):
+        """With filters, negative level probes mostly vanish."""
+        plain_ctx = make_context(b=32, m=256)
+        plain = LSMTree(plain_ctx, gamma=3, memtable_items=64)
+        bloom_ctx = make_context(b=32, m=4096)
+        bloom = LSMTree(
+            bloom_ctx, gamma=3, memtable_items=64, bloom_bits_per_key=10.0
+        )
+        plain.insert_many(keys)
+        bloom.insert_many(keys)
+
+        def avg_lookup(ctx, t):
+            before = ctx.stats.snapshot()
+            sample = keys[::17]
+            for k in sample:
+                assert t.lookup(k)
+            return ctx.stats.delta_since(before).total / len(sample)
+
+        assert avg_lookup(bloom_ctx, bloom) <= avg_lookup(plain_ctx, plain)
+
+    def test_memory_accounting_includes_fences(self, keys):
+        ctx = make_context(b=32, m=2048)
+        t = LSMTree(ctx, memtable_items=256)
+        t.insert_many(keys)
+        assert t.memory_words() > 256 / 32  # at least the fence words
+        assert ctx.memory.within_budget()
+
+
+class TestBufferTreeBasics:
+    def test_roundtrip_pre_and_post_flush(self, keys):
+        ctx = make_context(b=32, m=512)
+        t = BufferTree(ctx)
+        t.insert_many(keys)
+        assert all(t.lookup(k) for k in keys[::13])
+        t.flush_all()
+        t.check_invariants()
+        assert len(t) == len(keys)
+        assert all(t.lookup(k) for k in keys[::13])
+
+    def test_absent(self, keys):
+        ctx = make_context(b=32, m=512)
+        t = BufferTree(ctx)
+        t.insert_many(keys[:600])
+        assert not any(t.lookup(k) for k in range(10**13, 10**13 + 30))
+
+    def test_duplicates_collapse_on_flush(self):
+        ctx = make_context(b=32, m=512)
+        t = BufferTree(ctx)
+        ks = list(range(500, 900))
+        t.insert_many(ks)
+        t.insert_many(ks)
+        t.flush_all()
+        assert len(t) == len(ks)
+        t.check_invariants()
+
+    def test_needs_memory(self):
+        with pytest.raises(ConfigurationError):
+            BufferTree(make_context(b=64, m=128))
+
+    def test_sorted_stream(self):
+        ctx = make_context(b=16, m=256)
+        t = BufferTree(ctx)
+        ks = list(range(3000))
+        t.insert_many(ks)
+        t.flush_all()
+        t.check_invariants()
+        assert all(t.lookup(k) for k in ks[::61])
+
+
+class TestBufferTreeCosts:
+    def test_insert_cost_below_one_io(self, keys):
+        """The buffer-tree headline: far below 1 I/O per insert."""
+        ctx = make_context(b=64, m=2048)
+        t = BufferTree(ctx)
+        t.insert_many(keys)
+        assert ctx.io_total() / len(keys) < 0.7
+
+    def test_insert_cost_scales_with_inverse_b(self, keys):
+        """Larger blocks amortize better (the O((1/b)·log) shape)."""
+        costs = {}
+        for b in (16, 128):
+            ctx = make_context(b=b, m=16 * b)
+            t = BufferTree(ctx)
+            t.insert_many(keys)
+            costs[b] = ctx.io_total() / len(keys)
+        assert costs[128] < costs[16]
+
+    def test_point_queries_are_the_expensive_side(self, keys):
+        """Buffers on the path make point lookups cost ≫ 1 I/O —
+        the structural opposite of the paper's hash table."""
+        ctx = make_context(b=32, m=512)
+        t = BufferTree(ctx)
+        t.insert_many(keys)
+        before = ctx.stats.snapshot()
+        sample = keys[::101]
+        for k in sample:
+            assert t.lookup(k)
+        avg = ctx.stats.delta_since(before).total / len(sample)
+        assert avg > 1.0
+
+    def test_memory_within_budget(self, keys):
+        ctx = make_context(b=32, m=512)
+        t = BufferTree(ctx)
+        t.insert_many(keys)
+        assert ctx.memory.within_budget()

@@ -1,0 +1,124 @@
+"""Unit + property tests for the external priority queue."""
+
+import heapq
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.em import ConfigurationError, make_context
+from repro.baselines.priority_queue import ExternalPriorityQueue
+
+
+def build(b=16, m=256, **kw):
+    ctx = make_context(b=b, m=m)
+    return ctx, ExternalPriorityQueue(ctx, **kw)
+
+
+class TestBasics:
+    def test_push_pop_sorted(self):
+        _, pq = build()
+        data = random.Random(1).sample(range(10**6), 2000)
+        for x in data:
+            pq.push(x)
+        out = [pq.pop_min() for _ in range(len(data))]
+        assert out == sorted(data)
+        assert len(pq) == 0
+
+    def test_duplicates_allowed(self):
+        _, pq = build()
+        for x in [5, 5, 3, 5, 3]:
+            pq.push(x)
+        assert [pq.pop_min() for _ in range(5)] == [3, 3, 5, 5, 5]
+
+    def test_pop_empty_raises(self):
+        _, pq = build()
+        with pytest.raises(IndexError):
+            pq.pop_min()
+
+    def test_peek_does_not_remove(self):
+        _, pq = build()
+        pq.push(9)
+        pq.push(2)
+        assert pq.peek_min() == 2
+        assert len(pq) == 2
+
+    def test_needs_memory(self):
+        with pytest.raises(ConfigurationError):
+            ExternalPriorityQueue(make_context(b=64, m=256))
+
+    def test_interleaved_push_pop(self):
+        """New pushes below already-surfaced minima must still win —
+        the delete-heap/run invariant."""
+        _, pq = build(m=128)
+        rng = random.Random(2)
+        model: list[int] = []
+        for step in range(3000):
+            if model and rng.random() < 0.45:
+                assert pq.pop_min() == heapq.heappop(model)
+            else:
+                x = rng.randrange(10**9)
+                pq.push(x)
+                heapq.heappush(model, x)
+            if step % 500 == 0:
+                pq.check_invariants()
+        while model:
+            assert pq.pop_min() == heapq.heappop(model)
+
+
+class TestCosts:
+    def test_amortized_io_o1(self):
+        """The Section 1 exhibit: n pushes + n pops in o(n) I/Os."""
+        ctx, pq = build(b=64, m=1024)
+        n = 8000
+        data = random.Random(3).sample(range(10**9), n)
+        for x in data:
+            pq.push(x)
+        for _ in range(n):
+            pq.pop_min()
+        amortized = ctx.io_total() / (2 * n)
+        assert amortized < 0.25  # ≪ 1; model predicts ~(1/b)·log(n/m)
+
+    def test_memory_within_budget(self):
+        ctx, pq = build()
+        for x in random.Random(4).sample(range(10**9), 3000):
+            pq.push(x)
+        assert ctx.memory.within_budget()
+        pq.check_invariants()
+
+    def test_merge_bounds_run_count(self):
+        _, pq = build(m=256, max_runs=3)
+        for x in random.Random(5).sample(range(10**9), 4000):
+            pq.push(x)
+        assert len(pq._runs) <= 4
+        pq.check_invariants()
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("push"), st.integers(0, 1000)),
+                st.tuples(st.just("pop"), st.just(0)),
+            ),
+            max_size=150,
+        )
+    )
+    def test_matches_heapq_model(self, ops):
+        ctx = make_context(b=16, m=256)
+        pq = ExternalPriorityQueue(ctx, heap_items=8, max_runs=2)
+        model: list[int] = []
+        for op, val in ops:
+            if op == "push":
+                pq.push(val)
+                heapq.heappush(model, val)
+            elif model:
+                assert pq.pop_min() == heapq.heappop(model)
+            else:
+                with pytest.raises(IndexError):
+                    pq.pop_min()
+        assert len(pq) == len(model)
+        pq.check_invariants()
+        while model:
+            assert pq.pop_min() == heapq.heappop(model)

@@ -1,0 +1,168 @@
+"""Unit tests for the external stack/queue and Bloom filter baselines."""
+
+import pytest
+
+from repro.em import ConfigurationError, MemoryBudget, make_context
+from repro.baselines.bloom import BloomFilter
+from repro.baselines.stack_queue import ExternalQueue, ExternalStack
+
+
+class TestExternalStack:
+    def test_lifo_order(self, ctx):
+        st = ExternalStack(ctx)
+        for i in range(500):
+            st.push(i)
+        for i in reversed(range(500)):
+            assert st.pop() == i
+        assert len(st) == 0
+
+    def test_peek_does_not_remove(self, ctx):
+        st = ExternalStack(ctx)
+        st.push(1)
+        st.push(2)
+        assert st.peek() == 2
+        assert len(st) == 2
+
+    def test_pop_empty_raises(self, ctx):
+        st = ExternalStack(ctx)
+        with pytest.raises(IndexError):
+            st.pop()
+
+    def test_amortized_io_is_o_one_over_b(self, ctx):
+        """The opening exhibit: n pushes+pops in O(n/b) I/Os."""
+        st = ExternalStack(ctx)
+        n = 4000
+        for i in range(n):
+            st.push(i)
+        for _ in range(n):
+            st.pop()
+        amortized = ctx.io_total() / (2 * n)
+        assert amortized < 3 / ctx.b
+
+    def test_interleaved_push_pop_thrash(self, ctx):
+        """Alternating around a spill boundary must not pay 1 I/O per op."""
+        st = ExternalStack(ctx)
+        b = ctx.b
+        for i in range(2 * b - 1):
+            st.push(i)
+        before = ctx.io_total()
+        for i in range(200):
+            st.push(1000 + i)
+            assert st.pop() == 1000 + i
+        assert ctx.io_total() - before <= 6
+        st.check_invariants()
+
+    def test_memory_within_budget(self, ctx):
+        st = ExternalStack(ctx)
+        for i in range(5000):
+            st.push(i)
+        assert ctx.memory.within_budget()
+
+    def test_needs_two_blocks_of_memory(self):
+        small = make_context(b=64, m=64)
+        with pytest.raises(ConfigurationError):
+            ExternalStack(small)
+
+    def test_deep_spill_and_reload(self, ctx):
+        st = ExternalStack(ctx)
+        n = 10 * ctx.b
+        for i in range(n):
+            st.push(i)
+        st.check_invariants()
+        for i in reversed(range(n)):
+            assert st.pop() == i
+
+
+class TestExternalQueue:
+    def test_fifo_order(self, ctx):
+        q = ExternalQueue(ctx)
+        for i in range(500):
+            q.enqueue(i)
+        for i in range(500):
+            assert q.dequeue() == i
+
+    def test_dequeue_empty_raises(self, ctx):
+        q = ExternalQueue(ctx)
+        with pytest.raises(IndexError):
+            q.dequeue()
+
+    def test_amortized_io(self, ctx):
+        q = ExternalQueue(ctx)
+        n = 4000
+        for i in range(n):
+            q.enqueue(i)
+        for _ in range(n):
+            q.dequeue()
+        assert ctx.io_total() / (2 * n) < 3 / ctx.b
+
+    def test_interleaved_operations(self, ctx):
+        q = ExternalQueue(ctx)
+        expect = 0
+        nxt = 0
+        for round_ in range(50):
+            for _ in range(30):
+                q.enqueue(nxt)
+                nxt += 1
+            for _ in range(20):
+                assert q.dequeue() == expect
+                expect += 1
+            q.check_invariants()
+        assert len(q) == 50 * 10
+
+    def test_small_queue_within_tail_buffer(self, ctx):
+        q = ExternalQueue(ctx)
+        q.enqueue(7)
+        assert q.dequeue() == 7
+        assert ctx.io_total() == 0  # never touched disk
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bf = BloomFilter.for_items(500)
+        keys = list(range(1000, 1500))
+        for k in keys:
+            bf.add(k)
+        assert all(bf.might_contain(k) for k in keys)
+
+    def test_false_positive_rate_near_design(self):
+        bf = BloomFilter.for_items(1000, bits_per_item=10.0)
+        for k in range(1000):
+            bf.add(k)
+        probes = range(10**6, 10**6 + 20_000)
+        fpr = sum(bf.might_contain(k) for k in probes) / 20_000
+        assert fpr < 0.03  # design point ≈ 1%
+
+    def test_expected_fpr_tracks_fill(self):
+        bf = BloomFilter.for_items(100, bits_per_item=8.0)
+        assert bf.expected_fpr() == 0.0
+        for k in range(100):
+            bf.add(k)
+        assert 0.0 < bf.expected_fpr() < 0.2
+        assert 0.0 < bf.fill_fraction() < 1.0
+
+    def test_contains_protocol(self):
+        bf = BloomFilter(256, 3)
+        bf.add(5)
+        assert 5 in bf
+
+    def test_memory_budget_charged_and_released(self):
+        budget = MemoryBudget(1000)
+        bf = BloomFilter(64 * 10, 3, budget=budget, owner="bf")
+        assert budget.charge_of("bf") == 10
+        bf.release()
+        assert budget.charge_of("bf") == 0
+
+    def test_optimal_hashes_formula(self):
+        # (bits/n)·ln2 with bits=1000, n=100 → ~6.9 → 7.
+        assert BloomFilter.optimal_hashes(1000, 100) == 7
+        assert BloomFilter.optimal_hashes(100, 0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0, 1)
+        with pytest.raises(ValueError):
+            BloomFilter(64, 0)
+
+    def test_bits_rounded_to_word(self):
+        bf = BloomFilter(65, 2)
+        assert bf.bits == 128

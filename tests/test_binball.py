@@ -1,0 +1,150 @@
+"""Unit tests for the (s, p, t) bin-ball game (Lemmas 3 and 4)."""
+
+import numpy as np
+import pytest
+
+from repro.lowerbound.binball import (
+    GameParams,
+    lemma3_failure_probability,
+    lemma4_failure_probability,
+    optimal_adversary_cost,
+    play,
+    play_many,
+    random_adversary_cost,
+    throw_balls,
+)
+
+
+class TestGameParams:
+    def test_defaults_bins_from_p(self):
+        assert GameParams(s=10, p=0.01, t=0).bins == 100
+
+    def test_explicit_bins_must_satisfy_r_geq_1_over_p(self):
+        GameParams(s=10, p=0.01, t=0, r=150)  # fine
+        with pytest.raises(ValueError):
+            GameParams(s=10, p=0.01, t=0, r=50)
+
+    @pytest.mark.parametrize(
+        "bad", [dict(s=0), dict(p=0.0), dict(p=1.5), dict(t=-1)]
+    )
+    def test_validation(self, bad):
+        kw = dict(s=10, p=0.1, t=0)
+        kw.update(bad)
+        with pytest.raises(ValueError):
+            GameParams(**kw)
+
+    def test_lemma_applicability(self):
+        assert GameParams(s=30, p=0.01, t=0).lemma3_applies()  # sp = 0.3
+        assert not GameParams(s=50, p=0.01, t=0).lemma3_applies()
+        assert GameParams(s=300, p=0.01, t=100).lemma4_applies()
+        assert not GameParams(s=300, p=0.01, t=200).lemma4_applies()
+
+
+class TestThrowing:
+    def test_counts_sum_to_s(self):
+        p = GameParams(s=500, p=0.01, t=0)
+        counts = throw_balls(p, np.random.default_rng(0))
+        assert counts.sum() == 500
+        assert counts.shape == (100,)
+
+
+class TestOptimalAdversary:
+    def test_no_removals(self):
+        assert optimal_adversary_cost(np.array([3, 0, 1, 2]), 0) == 3
+
+    def test_removes_smallest_bins_first(self):
+        # loads 1,2,3: t=3 empties bins 1 and 2 exactly.
+        assert optimal_adversary_cost(np.array([1, 2, 3]), 3) == 1
+
+    def test_partial_removal_saves_nothing(self):
+        # t=2 can only fully empty the load-1 bin; 2 remain.
+        assert optimal_adversary_cost(np.array([1, 2, 3]), 2) == 2
+
+    def test_remove_everything(self):
+        assert optimal_adversary_cost(np.array([2, 2]), 4) == 0
+        assert optimal_adversary_cost(np.array([2, 2]), 99) == 0
+
+    def test_empty_game(self):
+        assert optimal_adversary_cost(np.array([0, 0]), 5) == 0
+
+    def test_optimal_never_worse_than_random(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            counts = rng.integers(0, 6, size=30)
+            t = int(rng.integers(0, counts.sum() + 1))
+            opt = optimal_adversary_cost(counts, t)
+            rand = random_adversary_cost(counts, t, rng)
+            assert opt <= rand
+
+    def test_random_adversary_removes_all(self):
+        rng = np.random.default_rng(2)
+        counts = np.array([1, 1])
+        assert random_adversary_cost(counts, 5, rng) == 0
+
+
+class TestPlay:
+    def test_single_game_reproducible(self):
+        p = GameParams(s=200, p=0.005, t=20)
+        a = play(p, np.random.default_rng(7))
+        b = play(p, np.random.default_rng(7))
+        assert a.cost == b.cost
+
+    def test_cost_bounded_by_occupied(self):
+        p = GameParams(s=200, p=0.005, t=20)
+        out = play(p, np.random.default_rng(7))
+        assert 0 <= out.cost <= out.occupied_before_removal <= 200
+
+    def test_unknown_adversary_rejected(self):
+        with pytest.raises(ValueError):
+            play(GameParams(s=10, p=0.1, t=0), adversary="psychic")
+
+    def test_lemma_bound_helpers(self):
+        p = GameParams(s=100, p=0.001, t=10)
+        out = play(p, np.random.default_rng(0))
+        assert out.lemma3_bound(mu=0.1) == pytest.approx(
+            0.9 * (1 - 0.1) * 100 - 10
+        )
+        assert out.lemma4_bound() == pytest.approx(1 / 0.02)
+
+
+class TestEnsembles:
+    def test_ensemble_shape(self):
+        ens = play_many(GameParams(s=100, p=0.001, t=0), trials=50, seed=3)
+        assert ens.trials == 50
+        assert ens.min_cost <= ens.mean_cost <= 100
+
+    def test_lemma3_holds_empirically(self):
+        """sp = 0.1 ≤ 1/3: cost ≥ (1−µ)(1−sp)s − t in (almost) all trials."""
+        s, p, t = 400, 0.00025, 20
+        params = GameParams(s=s, p=p, t=t)
+        assert params.lemma3_applies()
+        mu = 0.15
+        ens = play_many(params, trials=200, seed=5)
+        bound = (1 - mu) * (1 - s * p) * s - t
+        emp_fail = ens.empirical_failure_probability(bound)
+        assert emp_fail <= lemma3_failure_probability(s, mu) + 0.02
+
+    def test_lemma4_holds_empirically(self):
+        """sp = ω(1) regime: even the optimal adversary keeps ≥ 1/(20p)."""
+        s, p, t = 1000, 0.01, 400
+        params = GameParams(s=s, p=p, t=t)
+        assert params.lemma4_applies()
+        ens = play_many(params, trials=200, seed=6)
+        bound = 1 / (20 * p)  # = 5 bins
+        assert ens.empirical_failure_probability(bound) <= 0.01
+
+    def test_random_adversary_ablation_costs_more(self):
+        params = GameParams(s=1000, p=0.01, t=400)
+        opt = play_many(params, trials=100, seed=7, adversary="optimal")
+        rand = play_many(params, trials=100, seed=7, adversary="random")
+        assert opt.mean_cost <= rand.mean_cost
+
+
+class TestTailFormulas:
+    def test_lemma3_tail_decreasing_in_s(self):
+        assert lemma3_failure_probability(1000, 0.1) < lemma3_failure_probability(
+            100, 0.1
+        )
+
+    def test_lemma4_tail_decreasing_in_s(self):
+        assert lemma4_failure_probability(1000) < lemma4_failure_probability(100)

@@ -1,0 +1,141 @@
+"""Unit tests for the bootstrapped buffered hash table (Theorem 2)."""
+
+import pytest
+
+from repro.em import make_context
+from repro.hashing.family import MULTIPLY_SHIFT
+from repro.core.buffered import BufferedHashTable
+from repro.core.config import BufferedParams
+from repro.lowerbound.zones import decompose
+
+
+def build(b=32, m=256, beta=8, gamma=2, seed=1):
+    ctx = make_context(b=b, m=m)
+    h = MULTIPLY_SHIFT.sample(ctx.u, seed=seed)
+    t = BufferedHashTable(ctx, h, params=BufferedParams(beta=beta, gamma=gamma))
+    return ctx, t
+
+
+class TestBasicOperations:
+    def test_roundtrip(self, keys):
+        _, t = build()
+        t.insert_many(keys)
+        assert len(t) == len(keys)
+        assert all(t.lookup(k) for k in keys[::7])
+        t.check_invariants()
+
+    def test_roundtrip_through_bootstrap_boundary(self):
+        ctx, t = build(m=256)
+        ks = list(range(10_000, 10_000 + 300))
+        t.insert_many(ks)  # crosses the ~m bootstrap threshold
+        assert all(t.lookup(k) for k in ks)
+        t.check_invariants()
+
+    def test_absent(self, keys):
+        _, t = build()
+        t.insert_many(keys[:600])
+        assert not any(t.lookup(k) for k in range(10**13, 10**13 + 40))
+
+    def test_duplicates_noop(self, keys):
+        _, t = build()
+        t.insert_many(keys[:100])
+        t.insert_many(keys[:100])
+        assert len(t) == 100
+
+    def test_invalid_hhat_load(self):
+        ctx = make_context(b=32, m=256)
+        h = MULTIPLY_SHIFT.sample(ctx.u, 1)
+        with pytest.raises(ValueError):
+            BufferedHashTable(ctx, h, hhat_load=1.5)
+
+
+class TestTheorem2Structure:
+    def test_majority_in_hhat(self, keys):
+        """The 1 − 1/β staleness invariant (with chunk slack)."""
+        _, t = build(beta=8)
+        t.insert_many(keys)
+        assert t.recent_fraction() <= 1 / 8 + 0.1
+
+    def test_rounds_double(self, keys):
+        ctx, t = build(m=128)
+        t.insert_many(keys)
+        assert t.round_index >= 2
+        assert t.hhat_size <= (2**t.round_index) * ctx.m
+
+    def test_memory_within_budget_throughout(self, keys):
+        ctx, t = build()
+        t.insert_many(keys)
+        assert ctx.memory.within_budget()
+        assert ctx.memory.high_water <= ctx.m
+
+    def test_query_cost_near_one(self, keys):
+        """Theorem 2: t_q = 1 + O(1/β)."""
+        ctx, t = build(b=64, m=512, beta=16)
+        t.insert_many(keys)
+        snap = ctx.stats.snapshot()
+        sample = keys[::3]
+        hits = [t.lookup(k) for k in sample]
+        assert all(hits)
+        avg = ctx.stats.delta_since(snap).total / len(sample)
+        assert avg <= 1 + 4 * (1 / 16) + 0.1
+
+    def test_insert_cost_below_one(self, keys):
+        """Theorem 2: t_u = o(1) — buffering actually helps here."""
+        ctx, t = build(b=64, m=512, beta=4)
+        t.insert_many(keys)
+        assert ctx.io_total() / len(keys) < 1.0
+
+    def test_zone_decomposition_matches_query_claim(self, keys):
+        """Inequality (1): |S| ≤ m + δk with δ = O(1/β)."""
+        ctx, t = build(b=64, m=512, beta=8)
+        t.insert_many(keys)
+        z = decompose(t.layout_snapshot())
+        delta = 4 / 8  # generous constant · 1/β
+        assert z.satisfies_inequality_1(ctx.m, delta)
+
+
+class TestParamDerivations:
+    def test_beta_from_query_exponent(self):
+        p = BufferedParams.for_query_exponent(256, 0.5)
+        assert p.beta == 16  # 256^0.5
+
+    def test_beta_from_insert_budget(self):
+        p = BufferedParams.for_insert_budget(128, 0.25, constant=2.0)
+        assert p.beta == 16  # 0.25·128/2
+
+    def test_invalid_exponent(self):
+        with pytest.raises(Exception):
+            BufferedParams.for_query_exponent(128, 1.5)
+
+    def test_predictions_positive(self):
+        p = BufferedParams(beta=8)
+        assert p.predicted_query_excess() == pytest.approx(1 / 8)
+        assert p.predicted_insert_cost(128, 10**6, 4096) > 0
+
+
+class TestTradeoffKnob:
+    def test_larger_beta_cheaper_queries_dearer_inserts(self, keys):
+        """The β knob realises the paper's tradeoff direction."""
+        ctx_small, t_small = build(b=64, m=512, beta=2, seed=5)
+        ctx_big, t_big = build(b=64, m=512, beta=32, seed=5)
+        t_small.insert_many(keys)
+        t_big.insert_many(keys)
+        tu_small = ctx_small.io_total() / len(keys)
+        tu_big = ctx_big.io_total() / len(keys)
+
+        def avg_query(ctx, t):
+            snap = ctx.stats.snapshot()
+            sample = keys[::5]
+            for k in sample:
+                t.lookup(k)
+            return ctx.stats.delta_since(snap).total / len(sample)
+
+        tq_small = avg_query(ctx_small, t_small)
+        tq_big = avg_query(ctx_big, t_big)
+        assert tu_small <= tu_big + 0.05  # fewer scans per round
+        # The structural form of "fresher Ĥ": a larger β caps the
+        # outside-Ĥ fraction more tightly.  (Measured t_q at this small
+        # n is dominated by memory-resident noise, so we assert the
+        # invariant the query bound is derived from.)
+        assert t_big.recent_fraction() <= t_small.recent_fraction() + 0.02
+        assert tq_big <= 1.25 and tq_small <= 1.6

@@ -1,0 +1,122 @@
+"""Unit tests for characteristic vectors and the good/bad dichotomy."""
+
+import numpy as np
+import pytest
+
+from repro.lowerbound.charvec import (
+    CharacteristicVector,
+    audit_family,
+    exact_for_modular,
+    from_counts,
+    planted_bad_vector,
+    sample_for_function,
+)
+
+
+class TestConstruction:
+    def test_from_counts_normalises(self):
+        v = from_counts([1, 1, 2])
+        assert v.alphas.sum() == pytest.approx(1.0)
+        assert v.d == 3
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CharacteristicVector(alphas=np.array([0.5, -0.1, 0.6]), exact=True)
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(ValueError):
+            CharacteristicVector(alphas=np.array([0.5, 0.1]), exact=True)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            CharacteristicVector(alphas=np.ones((2, 2)) / 4, exact=True)
+
+    def test_zero_counts_rejected(self):
+        with pytest.raises(ValueError):
+            from_counts([0, 0])
+
+
+class TestLemma2Quantities:
+    def test_uniform_vector_is_good(self):
+        v = from_counts([10] * 100)
+        rho = 2 / 100  # each α_i = 0.01 < ρ
+        assert v.lambda_f(rho) == 0.0
+        assert v.is_good(rho, phi=0.01)
+        assert v.bad_index_area(rho).size == 0
+
+    def test_planted_bad_vector_is_bad(self):
+        v = planted_bad_vector(d=1000, hot_indices=5, hot_mass=0.5)
+        rho = 1 / 1000
+        assert v.lambda_f(rho) == pytest.approx(0.5)
+        assert not v.is_good(rho, phi=0.1)
+        assert set(v.bad_index_area(rho)) == set(range(5))
+
+    def test_bad_index_area_count_bounded_by_lambda_over_rho(self):
+        """|D_f| ≤ λ_f / ρ — each bad index holds mass > ρ."""
+        v = planted_bad_vector(d=500, hot_indices=20, hot_mass=0.3)
+        rho = 0.005
+        lam = v.lambda_f(rho)
+        assert v.bad_index_area(rho).size <= lam / rho + 1e-9
+
+    def test_good_mass_complements_lambda(self):
+        v = planted_bad_vector(d=100, hot_indices=2, hot_mass=0.4)
+        rho = 0.05
+        assert v.good_mass(rho) == pytest.approx(1 - v.lambda_f(rho))
+
+    def test_max_good_bucket_prob(self):
+        """p = ρ/(1−λ_f), the bin-ball per-bin probability."""
+        v = planted_bad_vector(d=100, hot_indices=2, hot_mass=0.4)
+        rho = 0.05
+        assert v.max_good_bucket_prob(rho) == pytest.approx(rho / (1 - 0.4))
+
+    def test_planted_validation(self):
+        with pytest.raises(ValueError):
+            planted_bad_vector(10, hot_indices=0, hot_mass=0.5)
+        with pytest.raises(ValueError):
+            planted_bad_vector(10, hot_indices=2, hot_mass=1.5)
+
+
+class TestExactModular:
+    def test_balanced_when_d_divides_u(self):
+        v = exact_for_modular(u=1000, d=10)
+        assert np.allclose(v.alphas, 0.1)
+
+    def test_remainder_spread(self):
+        v = exact_for_modular(u=103, d=10)
+        # Three residues get 11/103, seven get 10/103.
+        assert np.isclose(v.alphas.sum(), 1.0)
+        assert (v.alphas > 10.5 / 103).sum() == 3
+
+    def test_modular_is_good_for_any_reasonable_rho(self):
+        v = exact_for_modular(u=10**6, d=1000)
+        assert v.is_good(rho=2 / 1000, phi=0.01)
+
+
+class TestSampledVectors:
+    def test_sampled_close_to_exact(self):
+        u, d = 2**40, 64
+        v = sample_for_function(lambda k: k % d, u, d, samples=50_000)
+        assert not v.exact
+        assert np.abs(v.alphas - 1 / d).max() < 0.01
+
+    def test_sampled_detects_planted_skew(self):
+        u, d = 2**40, 64
+        # A function sending half the universe to bucket 0.
+        v = sample_for_function(
+            lambda k: 0 if k % 2 == 0 else (k % d), u, d, samples=20_000
+        )
+        assert v.alphas[0] > 0.4
+
+    def test_out_of_range_address_rejected(self):
+        with pytest.raises(ValueError):
+            sample_for_function(lambda k: 99, u=1000, d=10, samples=10)
+
+
+class TestFamilyAudit:
+    def test_audit_classification(self):
+        good = from_counts([1] * 100)
+        bad = planted_bad_vector(100, hot_indices=3, hot_mass=0.6)
+        audit = audit_family([good, bad, good], rho=0.02, phi=0.1)
+        assert audit.n_functions == 3
+        assert audit.bad_fraction == pytest.approx(1 / 3)
+        assert audit.worst() == pytest.approx(0.6)

@@ -1,0 +1,70 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_geometry_flags(self):
+        args = build_parser().parse_args(["figure1", "--b", "32", "--n", "100"])
+        assert args.b == 32
+        assert args.n == 100
+
+    def test_trace_mix_flag(self):
+        args = build_parser().parse_args(
+            ["trace", "--mix", "1", "0", "0", "0", "--table", "chaining"]
+        )
+        assert args.mix == [1.0, 0.0, 0.0, 0.0]
+
+
+class TestCommands:
+    def test_knuth(self, capsys):
+        assert main(["knuth"]) == 0
+        out = capsys.readouterr().out
+        assert "t_q_success" in out
+        assert "overflow" in out
+
+    def test_figure1_small(self, capsys):
+        assert main(["figure1", "--b", "32", "--m", "256", "--n", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "c=1 boundary" in out
+        assert "*" in out  # measured points plotted
+
+    def test_baselines_small(self, capsys):
+        assert main(["baselines", "--b", "32", "--m", "256", "--n", "1200"]) == 0
+        out = capsys.readouterr().out
+        assert "buffered" in out
+        assert "btree" in out
+
+    def test_audit_small(self, capsys):
+        assert main(["audit", "--b", "32", "--m", "600", "--n", "1200"]) == 0
+        out = capsys.readouterr().out
+        assert "query_floor" in out
+
+    def test_trace_small(self, capsys):
+        assert (
+            main(
+                [
+                    "trace",
+                    "--table",
+                    "chaining",
+                    "--b",
+                    "32",
+                    "--m",
+                    "256",
+                    "--n",
+                    "500",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "I/Os" in out
+
+    def test_trace_unknown_table(self, capsys):
+        assert main(["trace", "--table", "nope", "--n", "10"]) == 2

@@ -1,0 +1,143 @@
+"""Unit tests for parameter derivations and the Figure 1 curves."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    BufferedParams,
+    LowerBoundParams,
+    insertion_lower_bound,
+    insertion_upper_bound,
+    query_cost_target,
+)
+from repro.core.tradeoff import (
+    TradeoffCurves,
+    crossover_exponent,
+    figure1_curves,
+    regime_of,
+)
+
+
+class TestLowerBoundParams:
+    def test_case1_parameters_match_paper(self):
+        """δ=1/b^c, φ=1/b^{(c−1)/4}, ρ=2b^{(c+3)/4}/n, s=n/b^{(c+1)/2}."""
+        b, n, c = 64, 10**6, 2.0
+        p = LowerBoundParams.case1(b, n, c)
+        assert p.delta == pytest.approx(b**-2.0)
+        assert p.phi == pytest.approx(b ** -(1 / 4))
+        assert p.rho == pytest.approx(2 * b ** (5 / 4) / n)
+        assert p.s == round(n / b**1.5)
+        assert p.case == 1
+
+    def test_case2_parameters(self):
+        b, n, kappa = 64, 10**6, 4.0
+        p = LowerBoundParams.case2(b, n, kappa)
+        assert p.delta == pytest.approx(1 / (kappa**4 * b))
+        assert p.phi == pytest.approx(1 / kappa)
+        assert p.rho == pytest.approx(2 * kappa * b / n)
+        assert p.s == round(n / (kappa**2 * b))
+
+    def test_case3_parameters(self):
+        b, n, c = 64, 10**6, 0.5
+        p = LowerBoundParams.case3(b, n, c)
+        assert p.delta == pytest.approx(b**-0.5)
+        assert p.phi == 0.125
+        assert p.rho == pytest.approx(16 * b / n)
+        assert p.s == round(32 * n / b**0.5)
+
+    def test_dispatch(self):
+        assert LowerBoundParams.for_exponent(64, 10**6, 1.5).case == 1
+        assert LowerBoundParams.for_exponent(64, 10**6, 1.0).case == 2
+        assert LowerBoundParams.for_exponent(64, 10**6, 0.5).case == 3
+
+    def test_case_domain_validation(self):
+        with pytest.raises(Exception):
+            LowerBoundParams.case1(64, 10**6, 0.5)
+        with pytest.raises(Exception):
+            LowerBoundParams.case3(64, 10**6, 1.5)
+
+    def test_bad_index_capacity(self):
+        p = LowerBoundParams.case1(64, 10**6, 2.0)
+        # b · λ/ρ grows linearly in λ.
+        assert p.bad_index_capacity(64, 0.2) == pytest.approx(
+            2 * p.bad_index_capacity(64, 0.1)
+        )
+
+
+class TestHeadlineBounds:
+    def test_lower_bound_case_boundaries(self):
+        b = 256
+        assert insertion_lower_bound(b, 2.0) == pytest.approx(
+            1 - b ** (-1 / 4), abs=1e-9
+        )
+        assert insertion_lower_bound(b, 1.0) == 1.0
+        assert insertion_lower_bound(b, 0.5) == pytest.approx(b**-0.5)
+
+    def test_lower_bound_monotone_within_each_case(self):
+        """Within each regime the bound tightens as c grows.  (Across the
+        c = 1 boundary the concrete curve dips — ``1 − 1/b^{(c−1)/4}``
+        is weak just above 1 — so global monotonicity is *not* part of
+        the theorem.)"""
+        b = 128
+        below = [insertion_lower_bound(b, c) for c in [0.25, 0.5, 0.75, 0.95]]
+        above = [insertion_lower_bound(b, c) for c in [1.05, 1.5, 2.0, 3.0]]
+        assert below == sorted(below)
+        assert above == sorted(above)
+
+    def test_upper_bound_brackets_lower(self):
+        """Upper envelope ≥ lower envelope at every exponent (up to the
+        suppressed constants, which our defaults respect)."""
+        b, n, m = 256, 10**7, 4096
+        for c in [0.25, 0.5, 0.75, 1.25, 1.5, 2.0]:
+            up = insertion_upper_bound(b, c, n, m)
+            lo = insertion_lower_bound(b, c, constant=0.25)
+            assert up >= lo * 0.9, (c, up, lo)
+
+    def test_query_cost_target(self):
+        assert query_cost_target(64, 1.0) == pytest.approx(1 + 1 / 64)
+
+
+class TestRegimes:
+    def test_regime_classification(self):
+        assert regime_of(2.0) == "buffering-useless"
+        assert regime_of(1.0) == "boundary"
+        assert regime_of(0.5) == "buffering-effective"
+        with pytest.raises(ValueError):
+            regime_of(0.0)
+
+
+class TestFigure1:
+    def test_default_grid_covers_both_regimes(self):
+        curves = figure1_curves(128, 10**6, 4096)
+        cs = [p.c for p in curves.lower]
+        assert min(cs) < 1 < max(cs)
+        assert len(curves.lower) == len(curves.upper)
+
+    def test_lower_bound_jump_at_boundary(self):
+        """The paper's picture: t_u lower bound is o(1) below c = 1 and
+        approaches 1 well above it (near the boundary the concrete
+        case-1 expression is weak, so we compare away from it)."""
+        curves = figure1_curves(256, 10**7, 4096)
+        below = [p.insert_cost for p in curves.lower if p.c < 0.9]
+        well_above = [p.insert_cost for p in curves.lower if p.c > 1.6]
+        assert max(below) < 0.5
+        assert min(well_above) > 0.5
+
+    def test_crossover_detection_near_one(self):
+        curves = figure1_curves(256, 10**7, 4096)
+        x = crossover_exponent(curves, threshold=0.5)
+        assert x is not None
+        assert 0.8 <= x <= 1.3
+
+    def test_measured_points_append(self):
+        curves = TradeoffCurves(b=64, n=1000, m=128)
+        curves.add_measured(0.5, 1.01, 0.2, "buffered")
+        rows = curves.rows()
+        assert any(r["kind"] == "measured" for r in rows)
+
+    def test_custom_grid(self):
+        grid = np.array([0.5, 1.5])
+        curves = figure1_curves(64, 10**5, 512, c_grid=grid)
+        assert len(curves.lower) == 2

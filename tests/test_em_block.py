@@ -1,0 +1,133 @@
+"""Unit tests for the Block container."""
+
+import pytest
+
+from repro.em import Block, BlockOverflowError
+
+
+class TestConstruction:
+    def test_empty_block(self):
+        blk = Block(8)
+        assert blk.empty
+        assert not blk.full
+        assert len(blk) == 0
+        assert blk.capacity_records == 8
+
+    def test_initial_data(self):
+        blk = Block(8, data=[1, 2, 3])
+        assert blk.records() == [1, 2, 3]
+        assert blk.used_words == 3
+        assert blk.free_records == 5
+
+    def test_initial_data_overflow_rejected(self):
+        with pytest.raises(BlockOverflowError):
+            Block(2, data=[1, 2, 3])
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Block(0)
+
+    def test_negative_record_words_rejected(self):
+        with pytest.raises(ValueError):
+            Block(8, record_words=0)
+
+    def test_record_words_shrink_capacity(self):
+        blk = Block(8, record_words=2)
+        assert blk.capacity_records == 4
+        blk.extend([10, 20, 30, 40])
+        assert blk.full
+        assert blk.used_words == 8
+
+    def test_record_words_overflow_on_init(self):
+        with pytest.raises(BlockOverflowError):
+            Block(8, record_words=2, data=[1, 2, 3, 4, 5])
+
+    def test_header_copied_not_aliased(self):
+        header = {"depth": 3}
+        blk = Block(8, header=header)
+        header["depth"] = 9
+        assert blk.header["depth"] == 3
+
+
+class TestAppendRemove:
+    def test_append_until_full(self):
+        blk = Block(4)
+        for i in range(4):
+            blk.append(i)
+        assert blk.full
+        with pytest.raises(BlockOverflowError):
+            blk.append(99)
+
+    def test_extend_partial_then_overflow(self):
+        blk = Block(4)
+        blk.extend([1, 2, 3])
+        with pytest.raises(BlockOverflowError):
+            blk.extend([4, 5])
+        # The in-capacity prefix was applied before the failure.
+        assert 4 in blk
+
+    def test_remove_present(self):
+        blk = Block(4, data=[1, 2, 3])
+        assert blk.remove(2)
+        assert blk.records() == [1, 3]
+
+    def test_remove_absent(self):
+        blk = Block(4, data=[1, 2, 3])
+        assert not blk.remove(9)
+        assert len(blk) == 3
+
+    def test_remove_only_one_occurrence(self):
+        blk = Block(4, data=[5, 5, 5])
+        blk.remove(5)
+        assert blk.records() == [5, 5]
+
+    def test_replace_contents(self):
+        blk = Block(4, data=[1, 2])
+        blk.replace_contents([7, 8, 9])
+        assert blk.records() == [7, 8, 9]
+
+    def test_replace_contents_overflow(self):
+        blk = Block(2)
+        with pytest.raises(BlockOverflowError):
+            blk.replace_contents([1, 2, 3])
+
+    def test_clear(self):
+        blk = Block(4, data=[1, 2])
+        blk.clear()
+        assert blk.empty
+
+
+class TestProtocols:
+    def test_contains_iter_getitem(self):
+        blk = Block(4, data=[10, 20, 30])
+        assert 20 in blk
+        assert 99 not in blk
+        assert list(blk) == [10, 20, 30]
+        assert blk[1] == 20
+
+    def test_copy_is_deep_for_data(self):
+        blk = Block(4, data=[1, 2])
+        dup = blk.copy()
+        dup.append(3)
+        assert len(blk) == 2
+        assert len(dup) == 3
+
+    def test_copy_preserves_header(self):
+        blk = Block(4, header={"leaf": True})
+        dup = blk.copy()
+        dup.header["leaf"] = False
+        assert blk.header["leaf"] is True
+
+    def test_equality(self):
+        a = Block(4, data=[1, 2], header={"x": 1})
+        b = Block(4, data=[1, 2], header={"x": 1})
+        c = Block(4, data=[1, 2], header={"x": 2})
+        assert a == b
+        assert a != c
+        assert a != "not a block"
+
+    def test_records_returns_copy(self):
+        blk = Block(4, data=[1])
+        recs = blk.records()
+        recs.append(999)
+        assert len(blk) == 1

@@ -1,0 +1,153 @@
+"""Unit tests for the LRU BufferPool."""
+
+import pytest
+
+from repro.em import (
+    Block,
+    BufferPool,
+    ConfigurationError,
+    Disk,
+    MemoryBudget,
+    STRICT_POLICY,
+    IOStats,
+)
+
+
+@pytest.fixture
+def disk():
+    return Disk(4, stats=IOStats(policy=STRICT_POLICY))
+
+
+def fill(disk, n):
+    ids = disk.allocate_many(n)
+    for bid in ids:
+        disk.write(bid, Block(4, data=[bid]))
+    disk.stats.reset()
+    return ids
+
+
+class TestHitsAndMisses:
+    def test_first_get_misses_then_hits(self, disk):
+        ids = fill(disk, 1)
+        pool = BufferPool(disk, 2)
+        pool.get(ids[0])
+        pool.get(ids[0])
+        assert pool.stats.misses == 1
+        assert pool.stats.hits == 1
+        assert disk.stats.reads == 1  # only the miss touched disk
+
+    def test_hit_charges_no_io(self, disk):
+        ids = fill(disk, 1)
+        pool = BufferPool(disk, 2)
+        pool.get(ids[0])
+        before = disk.stats.total
+        pool.get(ids[0])
+        assert disk.stats.total == before
+
+    def test_hit_rate(self, disk):
+        ids = fill(disk, 1)
+        pool = BufferPool(disk, 2)
+        pool.get(ids[0])
+        pool.get(ids[0])
+        pool.get(ids[0])
+        assert pool.stats.hit_rate == pytest.approx(2 / 3)
+
+
+class TestEvictionAndWriteback:
+    def test_lru_eviction_order(self, disk):
+        ids = fill(disk, 3)
+        pool = BufferPool(disk, 2)
+        pool.get(ids[0])
+        pool.get(ids[1])
+        pool.get(ids[2])  # evicts ids[0]
+        assert not pool.is_resident(ids[0])
+        assert pool.is_resident(ids[1])
+        assert pool.is_resident(ids[2])
+
+    def test_get_refreshes_lru_position(self, disk):
+        ids = fill(disk, 3)
+        pool = BufferPool(disk, 2)
+        pool.get(ids[0])
+        pool.get(ids[1])
+        pool.get(ids[0])  # refresh 0; 1 is now LRU
+        pool.get(ids[2])
+        assert pool.is_resident(ids[0])
+        assert not pool.is_resident(ids[1])
+
+    def test_clean_eviction_no_writeback(self, disk):
+        ids = fill(disk, 3)
+        pool = BufferPool(disk, 2)
+        for bid in ids:
+            pool.get(bid)
+        assert pool.stats.writebacks == 0
+        assert disk.stats.writes == 0
+
+    def test_dirty_eviction_writes_back(self, disk):
+        ids = fill(disk, 3)
+        pool = BufferPool(disk, 2)
+        pool.put(ids[0], Block(4, data=[99]))
+        pool.get(ids[1])
+        pool.get(ids[2])  # evicts dirty ids[0]
+        assert pool.stats.writebacks == 1
+        assert disk.peek(ids[0]).records() == [99]
+
+    def test_flush_writes_all_dirty(self, disk):
+        ids = fill(disk, 2)
+        pool = BufferPool(disk, 4)
+        pool.put(ids[0], Block(4, data=[10]))
+        pool.put(ids[1], Block(4, data=[20]))
+        written = pool.flush()
+        assert written == 2
+        assert disk.peek(ids[0]).records() == [10]
+        assert disk.peek(ids[1]).records() == [20]
+        assert pool.flush() == 0  # idempotent
+
+    def test_mark_dirty_requires_residency(self, disk):
+        ids = fill(disk, 1)
+        pool = BufferPool(disk, 2)
+        with pytest.raises(KeyError):
+            pool.mark_dirty(ids[0])
+        pool.get(ids[0])
+        pool.mark_dirty(ids[0])
+        assert pool.flush() == 1
+
+    def test_invalidate_discard_drops_changes(self, disk):
+        ids = fill(disk, 1)
+        pool = BufferPool(disk, 2)
+        pool.put(ids[0], Block(4, data=[77]))
+        pool.invalidate(ids[0], discard=True)
+        assert disk.peek(ids[0]).records() == [ids[0]]
+
+    def test_invalidate_default_writes_back(self, disk):
+        ids = fill(disk, 1)
+        pool = BufferPool(disk, 2)
+        pool.put(ids[0], Block(4, data=[77]))
+        pool.invalidate(ids[0])
+        assert disk.peek(ids[0]).records() == [77]
+
+
+class TestBudgetIntegration:
+    def test_frames_charged_to_budget(self, disk):
+        budget = MemoryBudget(100)
+        BufferPool(disk, 3, budget=budget, owner="pool")
+        assert budget.charge_of("pool") == 3 * disk.b
+
+    def test_close_releases_charge(self, disk):
+        budget = MemoryBudget(100)
+        pool = BufferPool(disk, 3, budget=budget, owner="pool")
+        pool.close()
+        assert budget.charge_of("pool") == 0
+
+    def test_zero_capacity_rejected(self, disk):
+        with pytest.raises(ConfigurationError):
+            BufferPool(disk, 0)
+
+
+def test_resident_order_is_lru_first(disk):
+    ids = fill(disk, 3)
+    pool = BufferPool(disk, 3)
+    for bid in ids:
+        pool.get(bid)
+    pool.get(ids[0])
+    assert pool.resident() == [ids[1], ids[2], ids[0]]
+    assert len(pool) == 3

@@ -1,0 +1,93 @@
+"""Unit tests for the MemoryBudget."""
+
+import pytest
+
+from repro.em import ConfigurationError, MemoryBudget, MemoryBudgetExceededError
+
+
+class TestCharging:
+    def test_basic_charge_and_release(self):
+        mb = MemoryBudget(100)
+        mb.charge("a", 30)
+        mb.charge("b", 20)
+        assert mb.used == 50
+        assert mb.free == 50
+        mb.release("a")
+        assert mb.used == 20
+
+    def test_incremental_charge(self):
+        mb = MemoryBudget(100)
+        mb.charge("a", 30)
+        mb.charge("a", 10)
+        assert mb.charge_of("a") == 40
+
+    def test_negative_charge_releases(self):
+        mb = MemoryBudget(100)
+        mb.charge("a", 30)
+        mb.charge("a", -10)
+        assert mb.charge_of("a") == 20
+
+    def test_charge_below_zero_rejected(self):
+        mb = MemoryBudget(100)
+        mb.charge("a", 5)
+        with pytest.raises(ValueError):
+            mb.charge("a", -10)
+
+    def test_set_charge_absolute(self):
+        mb = MemoryBudget(100)
+        mb.set_charge("a", 42)
+        mb.set_charge("a", 7)
+        assert mb.charge_of("a") == 7
+
+    def test_set_negative_rejected(self):
+        mb = MemoryBudget(100)
+        with pytest.raises(ValueError):
+            mb.set_charge("a", -1)
+
+    def test_release_unknown_owner_is_noop(self):
+        mb = MemoryBudget(100)
+        mb.release("ghost")
+        assert mb.used == 0
+
+
+class TestBudgetEnforcement:
+    def test_hard_budget_raises(self):
+        mb = MemoryBudget(100, hard=True)
+        mb.charge("a", 90)
+        with pytest.raises(MemoryBudgetExceededError):
+            mb.charge("b", 20)
+
+    def test_soft_budget_records_high_water(self):
+        mb = MemoryBudget(100, hard=False)
+        mb.charge("a", 150)
+        assert mb.high_water == 150
+        assert not mb.within_budget()
+
+    def test_exactly_at_budget_ok(self):
+        mb = MemoryBudget(100, hard=True)
+        mb.charge("a", 100)
+        assert mb.within_budget()
+
+    def test_high_water_tracks_peak_not_current(self):
+        mb = MemoryBudget(100)
+        mb.charge("a", 80)
+        mb.charge("a", -50)
+        assert mb.used == 30
+        assert mb.high_water == 80
+
+    def test_error_message_names_owners(self):
+        mb = MemoryBudget(10, hard=True)
+        mb.charge("table", 5)
+        with pytest.raises(MemoryBudgetExceededError, match="table"):
+            mb.charge("cache", 9)
+
+    def test_invalid_m(self):
+        with pytest.raises(ConfigurationError):
+            MemoryBudget(0)
+
+
+def test_owners_listing():
+    mb = MemoryBudget(100)
+    mb.charge("z", 1)
+    mb.charge("a", 1)
+    assert mb.owners() == ["a", "z"]

@@ -1,0 +1,90 @@
+"""Unit tests for ModelParams / EMContext."""
+
+import math
+
+import pytest
+
+from repro.em import Block, ConfigurationError, EMContext, ModelParams, make_context
+from repro.em.iostats import STRICT_POLICY
+
+
+class TestModelParams:
+    def test_word_bits(self):
+        p = ModelParams(b=128, m=4096, u=2**61 - 1)
+        assert p.word_bits == pytest.approx(math.log2(2**61 - 1))
+
+    def test_memory_blocks(self):
+        p = ModelParams(b=128, m=1000, u=2**20)
+        assert p.memory_blocks == 7
+
+    def test_block_not_too_small(self):
+        assert ModelParams(b=128, m=64, u=2**61 - 1).block_not_too_small()
+        assert not ModelParams(b=16, m=64, u=2**61 - 1).block_not_too_small()
+
+    @pytest.mark.parametrize("bad", [dict(b=0), dict(m=0), dict(u=1)])
+    def test_invalid_params(self, bad):
+        kwargs = dict(b=8, m=8, u=100)
+        kwargs.update(bad)
+        with pytest.raises(ConfigurationError):
+            ModelParams(**kwargs)
+
+    def test_regime_ok_window(self):
+        p = ModelParams(b=128, m=10, u=2**30)
+        # Lower edge: n/m must exceed b^{1+2c} = 128² = 16384 at c=0.5.
+        assert p.regime_ok(n=10 * 50_000, c=0.5)
+        assert not p.regime_ok(n=10 * 1_000, c=0.5)
+        # Upper edge: n/m must stay below 2^{b/log₂ b} ≈ 2^18.3 ≈ 323k.
+        assert not p.regime_ok(n=10 * 1_000_000, c=0.5)
+
+
+class TestEMContext:
+    def test_make_context_defaults(self):
+        ctx = make_context()
+        assert ctx.b == 128
+        assert ctx.m == 4096
+        assert ctx.disk.b == 128
+        assert ctx.memory.m == 4096
+
+    def test_shared_stats_between_context_and_disk(self):
+        ctx = make_context(b=8, m=64)
+        bid = ctx.disk.allocate()
+        ctx.disk.write(bid, Block(8, data=[1]))
+        assert ctx.io_total() == 1
+        ctx.reset_stats()
+        assert ctx.io_total() == 0
+
+    def test_policy_propagates(self):
+        ctx = make_context(b=8, m=64, policy=STRICT_POLICY)
+        bid = ctx.disk.allocate()
+        ctx.disk.write(bid, Block(8, data=[1]))
+        with ctx.disk.modify(bid) as blk:
+            blk.append(2)
+        # Strict: read + write both charged.
+        assert ctx.io_total() == 3
+
+    def test_validate_regime_small_block_rejected(self):
+        ctx = make_context(b=16, m=64, u=2**61 - 1)
+        with pytest.raises(ConfigurationError, match="b > log u"):
+            ctx.validate_regime(n=10**6, c=0.5)
+
+    def test_validate_regime_small_n_rejected(self):
+        ctx = make_context(b=64, m=64, u=2**32)
+        with pytest.raises(ConfigurationError, match="outside regime"):
+            ctx.validate_regime(n=100, c=1.5)
+
+    def test_load_factor_empty(self):
+        ctx = make_context(b=8, m=64)
+        assert ctx.load_factor(0) == 0.0
+
+    def test_load_factor_counts_nonempty_blocks(self):
+        ctx = make_context(b=8, m=64)
+        ids = ctx.disk.allocate_many(4)
+        for bid in ids[:2]:
+            ctx.disk.write(bid, Block(8, data=[1, 2, 3, 4]))
+        # 8 items stored; min blocks = 1; 2 blocks in actual use.
+        assert ctx.load_factor(8) == pytest.approx(0.5)
+
+    def test_hard_memory_flag(self):
+        soft = EMContext(params=ModelParams(b=8, m=16, u=100), hard_memory=False)
+        soft.memory.charge("x", 100)  # no raise
+        assert soft.memory.high_water == 100

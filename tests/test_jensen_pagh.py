@@ -1,0 +1,111 @@
+"""Unit tests for the Jensen–Pagh-style high-load table."""
+
+import math
+
+import pytest
+
+from repro.em import make_context
+from repro.hashing.family import MEMOISED_IDEAL, MULTIPLY_SHIFT
+from repro.core.jensen_pagh import JensenPaghTable
+from repro.workloads.drivers import measure_query_cost
+from repro.workloads.generators import UniformKeys
+
+
+def build(b=32, m=2048, seed=1, **kw):
+    ctx = make_context(b=b, m=m)
+    h = MULTIPLY_SHIFT.sample(ctx.u, seed=seed)
+    return ctx, JensenPaghTable(ctx, h, **kw)
+
+
+class TestBasics:
+    def test_roundtrip(self, keys):
+        _, t = build()
+        t.insert_many(keys)
+        assert len(t) == len(keys)
+        assert all(t.lookup(k) for k in keys[::13])
+        t.check_invariants()
+
+    def test_absent(self, keys):
+        _, t = build()
+        t.insert_many(keys[:500])
+        assert not any(t.lookup(k) for k in range(10**13, 10**13 + 40))
+
+    def test_duplicates_noop(self):
+        _, t = build()
+        t.insert(7)
+        t.insert(7)
+        assert len(t) == 1
+
+    def test_delete_primary_and_overflow(self, keys):
+        _, t = build(b=8)
+        subset = keys[:400]
+        t.insert_many(subset)
+        assert t.overflow_fraction() > 0  # some items overflowed at b=8
+        for k in subset[::2]:
+            assert t.delete(k)
+        assert not t.delete(10**15)
+        t.check_invariants()
+        assert all(t.lookup(k) for k in subset[1::2])
+        assert not any(t.lookup(k) for k in subset[::2])
+
+    def test_alpha_validation(self):
+        ctx = make_context(b=32, m=2048)
+        h = MULTIPLY_SHIFT.sample(ctx.u, 1)
+        with pytest.raises(ValueError):
+            JensenPaghTable(ctx, h, alpha=1.5)
+
+
+class TestCostProfile:
+    def test_query_cost_one_plus_inverse_sqrt_b(self, keys):
+        """[12]'s query bound: 1 + O(1/√b)."""
+        ctx, t = build(b=64, m=4096, seed=3)
+        t.insert_many(keys)
+        tq = measure_query_cost(t, keys, sample_size=1500, seed=4).mean
+        assert tq <= 1 + 6 / math.sqrt(64)
+
+    def test_overflow_fraction_shrinks_with_b(self):
+        """The Θ(1/√b) overflow tail."""
+        fractions = {}
+        for b in (16, 64, 256):
+            ctx = make_context(b=b, m=8192)
+            h = MEMOISED_IDEAL.sample(ctx.u, seed=5)
+            t = JensenPaghTable(ctx, h)
+            t.insert_many(UniformKeys(ctx.u, seed=6).take(4000))
+            fractions[b] = t.overflow_fraction()
+        assert fractions[64] < fractions[16]
+        assert fractions[256] < fractions[64] + 0.01
+
+    def test_insert_cost_near_one(self, keys):
+        """Updates cost 1 + O(1/√b) — no buffering, by design."""
+        ctx, t = build(b=64, m=4096, seed=7)
+        before = ctx.stats.snapshot()
+        t.insert_many(keys)
+        tu = ctx.stats.delta_since(before).total / len(keys)
+        assert 0.9 <= tu <= 1 + 8 / math.sqrt(64)
+
+    def test_load_factor_high(self, keys):
+        """The headline of [12]: load 1 − O(1/√b), far above chaining's."""
+        _, t = build(b=64, m=4096, seed=8)
+        t.insert_many(keys)
+        # Footnote-1 load just after a doubling can sit near α/2; the
+        # structure's *target* load is what the α parameter controls.
+        assert t.alpha == pytest.approx(1 - 1 / math.sqrt(64))
+        assert t.load_factor() > 0.35
+
+    def test_memory_within_budget(self, keys):
+        ctx, t = build()
+        t.insert_many(keys)
+        assert ctx.memory.within_budget()
+
+
+class TestSnapshot:
+    def test_snapshot_complete_and_mostly_fast(self, keys):
+        from repro.lowerbound.zones import decompose
+
+        _, t = build(b=64, m=4096, seed=9)
+        t.insert_many(keys)
+        snap = t.layout_snapshot()
+        assert snap.item_count() == len(keys)
+        z = decompose(snap)
+        # Only the overflow tail is slow: |S|/k = O(1/√b).
+        assert len(z.slow) / len(keys) < 4 / math.sqrt(64)

@@ -1,0 +1,127 @@
+"""Unit tests for the logarithmic-method hash table (Lemma 5)."""
+
+import math
+
+import pytest
+
+from repro.em import make_context
+from repro.hashing.family import MULTIPLY_SHIFT
+from repro.core.logmethod import LogMethodHashTable
+
+
+def build(b=32, m=256, gamma=2, seed=1, **kw):
+    ctx = make_context(b=b, m=m)
+    h = MULTIPLY_SHIFT.sample(ctx.u, seed=seed)
+    return ctx, LogMethodHashTable(ctx, h, gamma=gamma, **kw)
+
+
+class TestBasicOperations:
+    def test_roundtrip(self, keys):
+        _, t = build()
+        t.insert_many(keys)
+        assert len(t) == len(keys)
+        assert all(t.lookup(k) for k in keys[::13])
+        t.check_invariants()
+
+    def test_absent(self, keys):
+        _, t = build()
+        t.insert_many(keys[:500])
+        assert not any(t.lookup(k) for k in range(10**13, 10**13 + 40))
+
+    def test_duplicates_noop(self):
+        _, t = build()
+        for _ in range(3):
+            t.insert(99)
+        assert len(t) == 1
+
+    def test_gamma_validation(self):
+        ctx = make_context(b=32, m=256)
+        h = MULTIPLY_SHIFT.sample(ctx.u, 1)
+        with pytest.raises(ValueError):
+            LogMethodHashTable(ctx, h, gamma=1)
+
+
+class TestLevelStructure:
+    def test_h0_absorbs_first_items(self):
+        ctx, t = build(m=256)
+        t.insert_many(range(100, 100 + t.h0_capacity - 1))
+        assert ctx.io_total() == 0  # everything still memory-resident
+
+    def test_migration_to_disk_on_h0_full(self):
+        ctx, t = build(m=256)
+        t.insert_many(range(100, 100 + t.h0_capacity + 1))
+        assert ctx.io_total() > 0
+        assert t.nonempty_levels()
+
+    def test_level_capacities_geometric(self):
+        _, t = build(gamma=4)
+        assert t.level_buckets(2) == 16 * t.d0
+        assert t.level_capacity(2) == 4 * t.level_capacity(1)
+
+    def test_levels_stay_geometrically_separated(self, keys):
+        _, t = build()
+        t.insert_many(keys)
+        t.check_invariants()
+        levels = t.nonempty_levels()
+        assert len(levels) <= math.log(len(keys), 2) + 2
+
+
+class TestCostProfile:
+    def test_insert_cost_o_of_log_over_b(self, keys):
+        """Lemma 5: amortized O((γ/b)·log(n/m)) — far below 1 I/O."""
+        ctx, t = build(b=64, m=512)
+        t.insert_many(keys)
+        amortized = ctx.io_total() / len(keys)
+        bound = 8 * (t.gamma / ctx.b) * math.log2(len(keys) / ctx.m + 2)
+        assert amortized < max(bound, 0.5)
+        assert amortized < 1.0  # the headline: o(1), unlike any hash table
+
+    def test_query_cost_grows_with_levels(self, keys):
+        """Lemma 5's price: a lookup probes O(log_γ(n/m)) tables."""
+        ctx, t = build(b=32, m=256)
+        t.insert_many(keys)
+        snap = ctx.stats.snapshot()
+        sample = keys[::11]
+        for k in sample:
+            assert t.lookup(k)
+        avg = ctx.stats.delta_since(snap).total / len(sample)
+        assert avg > 1.0  # strictly worse than one I/O on average
+
+    def test_larger_gamma_fewer_levels(self, keys):
+        _, t2 = build(gamma=2)
+        _, t8 = build(gamma=8)
+        t2.insert_many(keys)
+        t8.insert_many(keys)
+        assert len(t8.nonempty_levels()) <= len(t2.nonempty_levels())
+
+
+class TestDrainAndClear:
+    def test_drain_all_returns_everything(self, keys):
+        _, t = build()
+        t.insert_many(keys[:500])
+        items = t.drain_all()
+        assert sorted(items) == sorted(keys[:500])
+        assert len(t) == 0
+
+    def test_clear_resets(self, keys):
+        ctx, t = build()
+        t.insert_many(keys[:300])
+        t.clear()
+        assert len(t) == 0
+        assert not t.nonempty_levels()
+        t.insert_many(keys[300:400])
+        assert all(t.lookup(k) for k in keys[300:400])
+
+
+class TestSnapshot:
+    def test_snapshot_complete(self, keys):
+        _, t = build()
+        t.insert_many(keys[:400])
+        snap = t.layout_snapshot()
+        assert snap.item_count() == 400
+
+    def test_memory_items_are_h0(self, keys):
+        _, t = build()
+        t.insert_many(keys[:50])  # below h0 capacity
+        snap = t.layout_snapshot()
+        assert snap.memory_items == frozenset(keys[:50])

@@ -1,0 +1,118 @@
+"""Tests for LSM tombstone deletion."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.em import make_context
+from repro.baselines.lsm import LSMTree
+
+
+def build(b=16, m=256, **kw):
+    ctx = make_context(b=b, m=m)
+    kw.setdefault("memtable_items", 32)
+    return ctx, LSMTree(ctx, **kw)
+
+
+class TestTombstones:
+    def test_delete_from_memtable(self):
+        _, t = build()
+        t.insert(5)
+        assert t.delete(5)
+        assert not t.lookup(5)
+        assert len(t) == 0
+
+    def test_delete_from_levels(self, keys):
+        _, t = build()
+        subset = keys[:300]
+        t.insert_many(subset)
+        for k in subset[::3]:
+            assert t.delete(k)
+        assert not any(t.lookup(k) for k in subset[::3])
+        assert all(t.lookup(k) for k in subset if k not in set(subset[::3]))
+        assert len(t) == len(subset) - len(subset[::3])
+        t.check_invariants()
+
+    def test_delete_absent_returns_false(self):
+        _, t = build()
+        t.insert(1)
+        assert not t.delete(99)
+        assert not t.delete(99)  # idempotent
+
+    def test_double_delete_returns_false(self, keys):
+        _, t = build()
+        t.insert_many(keys[:100])
+        assert t.delete(keys[0])
+        assert not t.delete(keys[0])
+        assert len(t) == 99
+
+    def test_delete_costs_no_upfront_io(self, keys):
+        """The LSM selling point: deletes are writes, not searches."""
+        ctx, t = build()
+        t.insert_many(keys[:200])
+        before = ctx.stats.snapshot()
+        for k in keys[:200:5]:
+            t.delete(k)
+        assert ctx.stats.delta_since(before).total == 0
+
+    def test_reinsert_after_delete_resurrects(self, keys):
+        _, t = build()
+        t.insert_many(keys[:100])
+        victim = keys[0]
+        t.delete(victim)
+        t.insert(victim)
+        assert t.lookup(victim)
+        assert len(t) == 100
+        t.check_invariants()
+
+    def test_compaction_retires_tombstones(self, keys):
+        """Merging physically drops deleted keys and frees the markers."""
+        _, t = build()
+        t.insert_many(keys[:300])
+        for k in keys[:150]:
+            t.delete(k)
+        tomb_before = len(t._tombstones)
+        assert tomb_before > 0
+        # Push enough fresh keys to force flushes/merges through L1+.
+        t.insert_many(keys[300:800])
+        t.check_invariants()
+        assert len(t._tombstones) < tomb_before
+        assert not any(t.lookup(k) for k in keys[:150:7])
+        assert all(t.lookup(k) for k in keys[150:300:7])
+
+    def test_memory_accounts_for_tombstones(self, keys):
+        ctx, t = build(m=2048)
+        t.insert_many(keys[:200])
+        base = t.memory_words()
+        for k in keys[:50]:
+            t.delete(k)
+        assert t.memory_words() >= base - 50  # tombstones charged
+        assert ctx.memory.within_budget()
+
+
+class TestDeletionModel:
+    @settings(
+        max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 60)), max_size=120
+        )
+    )
+    def test_set_equivalence_with_deletes(self, ops):
+        ctx = make_context(b=8, m=128)
+        t = LSMTree(ctx, memtable_items=8)
+        model: set[int] = set()
+        for op, key in ops:
+            if op == 0:
+                t.insert(key)
+                model.add(key)
+            elif op == 1:
+                assert t.delete(key) == (key in model)
+                model.discard(key)
+            else:
+                assert t.lookup(key) == (key in model)
+        assert len(t) == len(model)
+        assert all(t.lookup(k) for k in model)
+        t.check_invariants()

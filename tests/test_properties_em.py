@@ -1,0 +1,83 @@
+"""Property-based tests (hypothesis) for the EM substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.em import Block, Disk, IOStats, MemoryBudget, PAPER_POLICY, STRICT_POLICY
+
+words = st.integers(min_value=0, max_value=2**61 - 2)
+
+
+class TestBlockProperties:
+    @given(st.lists(words, max_size=16))
+    def test_block_roundtrips_records(self, items):
+        blk = Block(16, data=items)
+        assert blk.records() == items
+        assert len(blk) == len(items)
+
+    @given(st.lists(words, min_size=1, max_size=16), st.data())
+    def test_remove_then_absent_count(self, items, data):
+        blk = Block(16, data=items)
+        victim = data.draw(st.sampled_from(items))
+        count_before = items.count(victim)
+        blk.remove(victim)
+        assert blk.records().count(victim) == count_before - 1
+
+    @given(st.lists(words, max_size=16))
+    def test_copy_equal_but_independent(self, items):
+        blk = Block(16, data=items)
+        dup = blk.copy()
+        assert dup == blk
+        if not dup.full:
+            dup.append(0)
+            assert len(blk) == len(items)
+
+
+class TestDiskProperties:
+    @given(st.lists(st.lists(words, max_size=8), min_size=1, max_size=12))
+    def test_disk_is_a_faithful_store(self, contents):
+        """Writing arbitrary block contents and reading them back is the
+        identity, and I/O counts equal the operation counts (strict)."""
+        disk = Disk(8, stats=IOStats(policy=STRICT_POLICY))
+        ids = []
+        for data in contents:
+            bid = disk.allocate()
+            disk.write(bid, Block(8, data=data))
+            ids.append(bid)
+        assert disk.stats.writes == len(contents)
+        for bid, data in zip(ids, contents):
+            assert disk.read(bid).records() == data
+        assert disk.stats.reads == len(contents)
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=40))
+    def test_paper_policy_never_exceeds_strict(self, ops):
+        """Total charged I/Os under footnote-2 combining ≤ strict total,
+        and raw transfers agree."""
+        paper = IOStats(policy=PAPER_POLICY)
+        strict = IOStats(policy=STRICT_POLICY)
+        for op in ops:
+            block = op % 3
+            if op < 3:
+                paper.record_read(block)
+                strict.record_read(block)
+            else:
+                paper.record_write(block)
+                strict.record_write(block)
+        assert paper.total <= strict.total
+        assert paper.raw_total == strict.raw_total
+
+
+class TestMemoryBudgetProperties:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from("abcd"), st.integers(0, 50)),
+            max_size=30,
+        )
+    )
+    def test_used_equals_sum_of_charges(self, charges):
+        mb = MemoryBudget(10_000)
+        totals: dict[str, int] = {}
+        for owner, amount in charges:
+            mb.set_charge(owner, amount)
+            totals[owner] = amount
+        assert mb.used == sum(totals.values())
+        assert mb.high_water >= mb.used

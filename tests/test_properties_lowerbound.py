@@ -1,0 +1,95 @@
+"""Property-based tests for the lower-bound machinery's invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.lowerbound.binball import optimal_adversary_cost, random_adversary_cost
+from repro.lowerbound.charvec import from_counts
+from repro.lowerbound.zones import decompose
+from repro.tables.base import LayoutSnapshot
+
+counts_strategy = hnp.arrays(
+    dtype=np.int64,
+    shape=st.integers(1, 40),
+    elements=st.integers(0, 20),
+)
+
+
+class TestAdversaryOptimality:
+    @settings(max_examples=200, deadline=None)
+    @given(counts=counts_strategy, t=st.integers(0, 400))
+    def test_optimal_cost_is_exact_greedy_value(self, counts, t):
+        """Cross-check the vectorised adversary against a direct greedy."""
+        loads = sorted(int(c) for c in counts if c > 0)
+        budget = t
+        emptied = 0
+        for load in loads:
+            if budget >= load:
+                budget -= load
+                emptied += 1
+            else:
+                break
+        assert optimal_adversary_cost(counts, t) == len(loads) - emptied
+
+    @settings(max_examples=100, deadline=None)
+    @given(counts=counts_strategy, t=st.integers(0, 100), seed=st.integers(0, 99))
+    def test_optimal_leq_any_random_strategy(self, counts, t, seed):
+        rng = np.random.default_rng(seed)
+        opt = optimal_adversary_cost(counts, t)
+        rand = random_adversary_cost(counts, t, rng)
+        assert opt <= rand
+
+    @settings(max_examples=100, deadline=None)
+    @given(counts=counts_strategy, t=st.integers(0, 100))
+    def test_monotone_in_t(self, counts, t):
+        assert optimal_adversary_cost(counts, t + 1) <= optimal_adversary_cost(
+            counts, t
+        )
+
+
+class TestCharacteristicVectorProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        counts=hnp.arrays(
+            dtype=np.int64,
+            shape=st.integers(1, 64),
+            elements=st.integers(0, 1000),
+        ).filter(lambda a: a.sum() > 0),
+        rho=st.floats(1e-6, 1.0),
+    )
+    def test_lambda_bounds_and_area_count(self, counts, rho):
+        v = from_counts(counts)
+        lam = v.lambda_f(rho)
+        assert 0.0 <= lam <= 1.0 + 1e-9
+        # |D_f| ≤ λ_f / ρ (each bad index has mass > ρ).
+        assert v.bad_index_area(rho).size <= lam / rho + 1e-9
+        # Monotone: a larger threshold can only shrink the bad area.
+        assert v.lambda_f(min(1.0, rho * 2)) <= lam + 1e-12
+
+
+class TestZoneProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        mem=st.sets(st.integers(0, 50), max_size=10),
+        blocks=st.dictionaries(
+            st.integers(0, 10),
+            st.tuples(st.integers(0, 50), st.integers(0, 50)),
+            max_size=8,
+        ),
+        route=st.integers(0, 10),
+    )
+    def test_zones_partition_items(self, mem, blocks, route):
+        snap = LayoutSnapshot(
+            memory_items=frozenset(mem),
+            blocks={bid: items for bid, items in blocks.items()},
+            address=lambda k: (k + route) % 11,
+        )
+        z = decompose(snap)
+        # Disjoint cover of all distinct items.
+        assert not (z.memory & z.fast)
+        assert not (z.memory & z.slow)
+        assert not (z.fast & z.slow)
+        assert z.memory | z.fast | z.slow == snap.memory_items | snap.disk_items()
+        # The query bound is always within [0, 2].
+        assert 0.0 <= z.query_cost_lower_bound() <= 2.0

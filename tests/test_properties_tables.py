@@ -1,0 +1,122 @@
+"""Property-based tests: every dictionary behaves like a Python set.
+
+The model-based test drives each table with an arbitrary interleaving
+of inserts, deletes and lookups, mirroring the operations into a plain
+``set`` and demanding observational equivalence — plus the structure's
+own ``check_invariants`` at the end.  This is the test that caught the
+subtle bugs during development; keep the op sequences modest so the
+whole matrix stays fast.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.em import make_context
+from repro.hashing.family import MULTIPLY_SHIFT
+from repro.baselines.btree import BTree
+from repro.baselines.lsm import LSMTree
+from repro.core.buffered import BufferedHashTable
+from repro.core.logmethod import LogMethodHashTable
+from repro.tables.chaining import ChainedHashTable
+from repro.tables.extendible import ExtendibleHashTable
+from repro.tables.linear_hashing import LinearHashingTable
+from repro.tables.linear_probing import LinearProbingHashTable
+
+
+def fresh(cls):
+    ctx = make_context(b=16, m=512, u=2**40)
+    h = MULTIPLY_SHIFT.sample(ctx.u, seed=99)
+    if cls is BTree:
+        return BTree(ctx)
+    if cls is LSMTree:
+        return LSMTree(ctx, memtable_items=32)
+    return cls(ctx, h)
+
+
+# Ops: (0, k) insert, (1, k) delete, (2, k) lookup.
+ops_strategy = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 120)), max_size=120
+)
+
+WITH_DELETE = [
+    ChainedHashTable,
+    LinearProbingHashTable,
+    ExtendibleHashTable,
+    LinearHashingTable,
+    BTree,
+    LSMTree,  # tombstone deletion
+]
+INSERT_ONLY = [LogMethodHashTable, BufferedHashTable]
+
+
+@pytest.mark.parametrize("cls", WITH_DELETE, ids=lambda c: c.__name__)
+class TestSetEquivalenceWithDeletes:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(ops=ops_strategy)
+    def test_observationally_a_set(self, cls, ops):
+        table = fresh(cls)
+        model: set[int] = set()
+        for op, key in ops:
+            if op == 0:
+                table.insert(key)
+                model.add(key)
+            elif op == 1:
+                assert table.delete(key) == (key in model)
+                model.discard(key)
+            else:
+                assert table.lookup(key) == (key in model)
+        assert len(table) == len(model)
+        assert all(table.lookup(k) for k in model)
+        table.check_invariants()
+
+
+@pytest.mark.parametrize("cls", INSERT_ONLY, ids=lambda c: c.__name__)
+class TestSetEquivalenceInsertOnly:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(ops=ops_strategy)
+    def test_observationally_a_set(self, cls, ops):
+        table = fresh(cls)
+        model: set[int] = set()
+        for op, key in ops:
+            if op == 0:
+                table.insert(key)
+                model.add(key)
+            else:
+                assert table.lookup(key) == (key in model)
+        assert len(table) == len(model)
+        assert all(table.lookup(k) for k in model)
+        table.check_invariants()
+
+
+class TestIOMonotonicity:
+    @settings(max_examples=15, deadline=None)
+    @given(keys=st.lists(st.integers(0, 10**9), min_size=1, max_size=200, unique=True))
+    def test_io_counter_never_decreases(self, keys):
+        ctx = make_context(b=16, m=512, u=2**40)
+        h = MULTIPLY_SHIFT.sample(ctx.u, seed=1)
+        t = ChainedHashTable(ctx, h)
+        last = 0
+        for k in keys:
+            t.insert(k)
+            now = ctx.io_total()
+            assert now >= last
+            last = now
+
+    @settings(max_examples=15, deadline=None)
+    @given(keys=st.lists(st.integers(0, 10**9), min_size=1, max_size=150, unique=True))
+    def test_snapshot_is_io_free_for_all_tables(self, keys):
+        for cls in (ChainedHashTable, LogMethodHashTable, BufferedHashTable):
+            table = fresh(cls)
+            table.insert_many(keys)
+            before = table.ctx.io_total()
+            snap = table.layout_snapshot()
+            assert table.ctx.io_total() == before
+            assert snap.item_count() == len(keys)

@@ -1,0 +1,143 @@
+"""Unit tests for the blocked chaining hash table."""
+
+import pytest
+
+from repro.em import make_context
+from repro.hashing.family import MULTIPLY_SHIFT
+from repro.lowerbound.zones import decompose
+from repro.tables.chaining import ChainedHashTable
+
+
+def make_table(b=32, m=512, buckets=16, max_load=0.8, seed=1):
+    ctx = make_context(b=b, m=m)
+    h = MULTIPLY_SHIFT.sample(ctx.u, seed=seed)
+    return ctx, ChainedHashTable(ctx, h, buckets=buckets, max_load=max_load)
+
+
+class TestBasicOperations:
+    def test_insert_lookup(self, keys):
+        _, t = make_table()
+        t.insert_many(keys)
+        assert len(t) == len(keys)
+        assert all(t.lookup(k) for k in keys[::7])
+
+    def test_absent_lookup(self, keys):
+        _, t = make_table()
+        t.insert_many(keys[:500])
+        absent = set(range(10**13, 10**13 + 100))
+        assert not any(t.lookup(k) for k in absent)
+
+    def test_duplicate_insert_is_noop(self):
+        _, t = make_table()
+        t.insert(42)
+        t.insert(42)
+        assert len(t) == 1
+
+    def test_delete(self, keys):
+        _, t = make_table()
+        t.insert_many(keys[:200])
+        assert t.delete(keys[0])
+        assert not t.lookup(keys[0])
+        assert not t.delete(keys[0])
+        assert len(t) == 199
+
+    def test_contains_protocol(self):
+        _, t = make_table()
+        t.insert(7)
+        assert 7 in t
+        assert 8 not in t
+
+    def test_invariants_after_churn(self, keys):
+        _, t = make_table()
+        t.insert_many(keys[:500])
+        for k in keys[:250]:
+            t.delete(k)
+        t.insert_many(keys[500:700])
+        t.check_invariants()
+        assert len(t) == 450
+
+
+class TestIOCosts:
+    def test_insert_costs_about_one_io(self, keys):
+        """Paper Section 1: insert = read target block + write back =
+        1 I/O under footnote 2 (plus rare overflow/rebuild traffic)."""
+        ctx, t = make_table(b=64, m=1024, buckets=64, max_load=None)
+        before = ctx.stats.total
+        t.insert_many(keys)
+        amortized = (ctx.stats.total - before) / len(keys)
+        assert 0.9 <= amortized <= 1.3
+
+    def test_successful_lookup_about_one_io(self, keys):
+        ctx, t = make_table(b=64, m=1024, buckets=64, max_load=None)
+        t.insert_many(keys)
+        before = ctx.stats.total
+        for k in keys[::5]:
+            assert t.lookup(k)
+        avg = (ctx.stats.total - before) / len(keys[::5])
+        assert 1.0 <= avg <= 1.2
+
+    def test_fixed_capacity_mode_never_rebuilds(self, keys):
+        _, t = make_table(buckets=4, max_load=None)
+        t.insert_many(keys[:400])
+        assert t.stats.rebuilds == 0
+        assert t.bucket_count == 4
+
+    def test_resizing_keeps_load_bounded(self, keys):
+        _, t = make_table(buckets=2, max_load=0.8)
+        t.insert_many(keys)
+        assert t.load_factor() <= 0.85
+        assert t.stats.rebuilds > 0
+
+
+class TestLayoutSnapshot:
+    def test_snapshot_covers_all_items(self, keys):
+        _, t = make_table()
+        t.insert_many(keys[:300])
+        snap = t.layout_snapshot()
+        assert snap.item_count() == 300
+        assert snap.disk_items() == set(keys[:300])
+
+    def test_snapshot_mostly_fast_zone(self, keys):
+        """With load < 1 nearly every item is one I/O away."""
+        _, t = make_table(b=64, buckets=64, max_load=None)
+        t.insert_many(keys)
+        z = decompose(t.layout_snapshot())
+        assert len(z.fast) / len(keys) > 0.95
+        assert z.query_cost_lower_bound() < 1.05
+
+    def test_snapshot_address_matches_bucket(self, keys):
+        _, t = make_table()
+        t.insert_many(keys[:100])
+        snap = t.layout_snapshot()
+        for k in keys[:100]:
+            addr = snap.address(k)
+            assert addr is not None
+
+    def test_snapshot_charges_no_io(self, keys):
+        ctx, t = make_table()
+        t.insert_many(keys[:100])
+        before = ctx.stats.total
+        t.layout_snapshot()
+        assert ctx.stats.total == before
+
+
+class TestMemoryAccounting:
+    def test_memory_charged(self):
+        ctx, t = make_table()
+        assert ctx.memory.used >= t.memory_words()
+
+    def test_memory_stays_within_budget(self, keys):
+        ctx, t = make_table()
+        t.insert_many(keys)
+        assert ctx.memory.within_budget()
+
+
+def test_overfull_bucket_chains():
+    """Everything in one bucket: chains grow, lookups degrade gracefully."""
+    ctx = make_context(b=8, m=512)
+    h = MULTIPLY_SHIFT.sample(ctx.u, seed=1)
+    t = ChainedHashTable(ctx, h, buckets=1, max_load=None)
+    ks = list(range(100, 150))
+    t.insert_many(ks)
+    assert all(t.lookup(k) for k in ks)
+    t.check_invariants()

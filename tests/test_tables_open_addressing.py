@@ -1,0 +1,143 @@
+"""Unit tests for linear probing, extendible hashing and linear hashing."""
+
+import pytest
+
+from repro.em import make_context
+from repro.hashing.family import MULTIPLY_SHIFT
+from repro.lowerbound.zones import decompose
+from repro.tables.extendible import ExtendibleHashTable
+from repro.tables.linear_hashing import LinearHashingTable
+from repro.tables.linear_probing import LinearProbingHashTable
+
+TABLES = [LinearProbingHashTable, ExtendibleHashTable, LinearHashingTable]
+
+
+def build(cls, b=32, m=2048, seed=1):
+    ctx = make_context(b=b, m=m)
+    h = MULTIPLY_SHIFT.sample(ctx.u, seed=seed)
+    return ctx, cls(ctx, h)
+
+
+@pytest.mark.parametrize("cls", TABLES, ids=lambda c: c.__name__)
+class TestCommonBehaviour:
+    def test_insert_lookup_roundtrip(self, cls, keys):
+        _, t = build(cls)
+        t.insert_many(keys[:1000])
+        assert len(t) == 1000
+        assert all(t.lookup(k) for k in keys[:1000:7])
+        t.check_invariants()
+
+    def test_absent_keys_not_found(self, cls, keys):
+        _, t = build(cls)
+        t.insert_many(keys[:300])
+        assert not any(t.lookup(k) for k in range(10**13, 10**13 + 50))
+
+    def test_duplicate_insert_noop(self, cls):
+        _, t = build(cls)
+        t.insert(5)
+        t.insert(5)
+        assert len(t) == 1
+
+    def test_delete_roundtrip(self, cls, keys):
+        _, t = build(cls)
+        subset = keys[:300]
+        t.insert_many(subset)
+        for k in subset[::2]:
+            assert t.delete(k)
+        assert len(t) == len(subset) - len(subset[::2])
+        assert not any(t.lookup(k) for k in subset[::2])
+        assert all(t.lookup(k) for k in subset[1::2])
+        t.check_invariants()
+
+    def test_delete_absent_returns_false(self, cls):
+        _, t = build(cls)
+        t.insert(1)
+        assert not t.delete(99)
+
+    def test_snapshot_complete_and_io_free(self, cls, keys):
+        ctx, t = build(cls)
+        t.insert_many(keys[:400])
+        before = ctx.stats.total
+        snap = t.layout_snapshot()
+        assert ctx.stats.total == before
+        assert snap.item_count() == 400
+
+    def test_memory_within_budget(self, cls, keys):
+        ctx, t = build(cls)
+        t.insert_many(keys[:800])
+        assert ctx.memory.within_budget()
+
+    def test_query_lb_near_one(self, cls, keys):
+        """All three classic tables keep nearly everything one I/O away."""
+        _, t = build(cls, b=64)
+        t.insert_many(keys[:1500])
+        z = decompose(t.layout_snapshot())
+        assert z.query_cost_lower_bound() <= 1.25
+
+
+class TestLinearProbingSpecifics:
+    def test_wraparound_probing(self, keys):
+        ctx = make_context(b=8, m=2048)
+        h = MULTIPLY_SHIFT.sample(ctx.u, seed=2)
+        t = LinearProbingHashTable(ctx, h)
+        t.insert_many(keys[:200])
+        assert all(t.lookup(k) for k in keys[:200])
+        t.check_invariants()
+
+    def test_deletion_compaction_preserves_probes(self, keys):
+        """After deletions, every survivor must still be reachable —
+        the subtle linear-probing invariant."""
+        ctx = make_context(b=8, m=2048)
+        h = MULTIPLY_SHIFT.sample(ctx.u, seed=3)
+        t = LinearProbingHashTable(ctx, h)
+        subset = keys[:150]
+        t.insert_many(subset)
+        for k in subset[::3]:
+            t.delete(k)
+        t.check_invariants()
+        survivors = [k for i, k in enumerate(subset) if i % 3 != 0]
+        assert all(t.lookup(k) for k in survivors)
+
+    def test_fill_fraction_bounded(self, keys):
+        _, t = build(LinearProbingHashTable)
+        t.insert_many(keys[:1000])
+        assert 0 < t.fill_fraction() < 1
+
+
+class TestExtendibleSpecifics:
+    def test_directory_doubles_under_load(self, keys):
+        ctx = make_context(b=8, m=4096)
+        h = MULTIPLY_SHIFT.sample(ctx.u, seed=4)
+        t = ExtendibleHashTable(ctx, h)
+        t.insert_many(keys[:1000])
+        # With b=8 and 1000 keys the directory must have grown well
+        # beyond one bucket.
+        assert len(t.distinct_buckets()) > 1000 / 8 / 4
+        t.check_invariants()
+
+    def test_load_factor_reasonable(self, keys):
+        _, t = build(ExtendibleHashTable, b=16, m=4096)
+        t.insert_many(keys[:1000])
+        assert t.load_factor() > 0.3
+
+
+class TestLinearHashingSpecifics:
+    def test_incremental_splits(self, keys):
+        ctx = make_context(b=8, m=4096)
+        h = MULTIPLY_SHIFT.sample(ctx.u, seed=5)
+        t = LinearHashingTable(ctx, h)
+        t.insert_many(keys[:800])
+        assert all(t.lookup(k) for k in keys[:800:11])
+        t.check_invariants()
+
+    def test_bucket_index_stable_for_stored_keys(self, keys):
+        _, t = build(LinearHashingTable)
+        t.insert_many(keys[:200])
+        # bucket_index must route to where the key actually is: lookups
+        # succeed for every stored key even mid-split-sequence.
+        assert all(t.lookup(k) for k in keys[:200])
+
+    def test_fill_fraction(self, keys):
+        _, t = build(LinearHashingTable)
+        t.insert_many(keys[:500])
+        assert 0 < t.fill_fraction() <= 1

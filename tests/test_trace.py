@@ -1,0 +1,134 @@
+"""Unit tests for mixed workloads, trace replay and persistence."""
+
+import pytest
+
+from repro.em import make_context
+from repro.hashing.family import MULTIPLY_SHIFT
+from repro.core.logmethod import LogMethodHashTable
+from repro.tables.chaining import ChainedHashTable
+from repro.workloads.generators import UniformKeys
+from repro.workloads.trace import (
+    DELETE,
+    INSERT,
+    LOOKUP_HIT,
+    LOOKUP_MISS,
+    MixedWorkload,
+    Op,
+    load_trace,
+    replay,
+    save_trace,
+    uniform_mixed_trace,
+)
+
+U = 2**40
+
+
+class TestOp:
+    def test_valid_kinds(self):
+        for kind in (INSERT, LOOKUP_HIT, LOOKUP_MISS, DELETE):
+            Op(kind, 5)
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            Op("x", 5)
+
+    def test_negative_key(self):
+        with pytest.raises(ValueError):
+            Op(INSERT, -1)
+
+
+class TestMixedWorkload:
+    def test_deterministic(self):
+        a = MixedWorkload(UniformKeys(U, 1), seed=2).take(300)
+        b = MixedWorkload(UniformKeys(U, 1), seed=2).take(300)
+        assert a == b
+
+    def test_semantic_consistency(self):
+        """Hit-lookups target live keys; miss-lookups target fresh keys;
+        deletes target live keys exactly once."""
+        wl = MixedWorkload(UniformKeys(U, 3), seed=4)
+        live: set[int] = set()
+        for op in wl.take(2000):
+            if op.kind == INSERT:
+                assert op.key not in live
+                live.add(op.key)
+            elif op.kind == LOOKUP_HIT:
+                assert op.key in live
+            elif op.kind == LOOKUP_MISS:
+                assert op.key not in live
+            else:
+                assert op.key in live
+                live.remove(op.key)
+
+    def test_mix_ratios_respected(self):
+        wl = MixedWorkload(UniformKeys(U, 5), mix=(0.8, 0.2, 0.0, 0.0), seed=6)
+        ops = wl.take(2000)
+        kinds = [op.kind for op in ops]
+        assert kinds.count(LOOKUP_MISS) == 0
+        assert kinds.count(DELETE) == 0
+        assert 0.7 < kinds.count(INSERT) / len(kinds) < 0.9
+
+    def test_insert_only_mix(self):
+        wl = MixedWorkload(UniformKeys(U, 7), mix=(1, 0, 0, 0), seed=8)
+        assert all(op.kind == INSERT for op in wl.take(100))
+
+    def test_invalid_mix(self):
+        with pytest.raises(ValueError):
+            MixedWorkload(UniformKeys(U, 1), mix=(0, 0, 0, 0))
+        with pytest.raises(ValueError):
+            MixedWorkload(UniformKeys(U, 1), mix=(1, 1, 1))
+
+
+class TestReplay:
+    def test_strict_replay_against_chaining(self):
+        ctx = make_context(b=32, m=512, u=U)
+        table = ChainedHashTable(ctx, MULTIPLY_SHIFT.sample(ctx.u, 9))
+        trace = MixedWorkload(UniformKeys(U, 10), seed=11).take(1500)
+        report = replay(table, trace, strict=True)
+        assert report.total_ops == 1500
+        assert report.errors == 0
+        assert report.amortized > 0
+        rows = report.rows()
+        assert any(r["op"] == "insert" for r in rows)
+
+    def test_strict_replay_detects_lost_key(self):
+        ctx = make_context(b=32, m=512, u=U)
+        table = ChainedHashTable(ctx, MULTIPLY_SHIFT.sample(ctx.u, 9))
+        with pytest.raises(AssertionError):
+            replay(table, [Op(LOOKUP_HIT, 12345)], strict=True)
+
+    def test_lenient_replay_skips_unsupported_deletes(self):
+        ctx = make_context(b=32, m=512, u=U)
+        table = LogMethodHashTable(ctx, MULTIPLY_SHIFT.sample(ctx.u, 9))
+        trace = [Op(INSERT, 1), Op(DELETE, 1), Op(LOOKUP_HIT, 1)]
+        report = replay(table, trace, strict=False)
+        assert report.errors == 1
+        assert report.total_ops == 3
+
+    def test_per_kind_costs_populated(self):
+        ctx = make_context(b=32, m=512, u=U)
+        table = ChainedHashTable(ctx, MULTIPLY_SHIFT.sample(ctx.u, 9))
+        trace = uniform_mixed_trace(U, 800, seed=12)
+        report = replay(table, trace)
+        assert report.per_kind[INSERT].count > 0
+        assert report.per_kind[LOOKUP_HIT].count > 0
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = uniform_mixed_trace(U, 200, seed=13)
+        path = tmp_path / "ops.trace"
+        written = save_trace(trace, path)
+        assert written == 200
+        assert load_trace(path) == trace
+
+    def test_load_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "ops.trace"
+        path.write_text("# header\n\ni 42\nq 42\n")
+        assert load_trace(path) == [Op(INSERT, 42), Op(LOOKUP_HIT, 42)]
+
+    def test_load_rejects_malformed(self, tmp_path):
+        path = tmp_path / "ops.trace"
+        path.write_text("i 1 2 3\n")
+        with pytest.raises(ValueError, match="malformed"):
+            load_trace(path)

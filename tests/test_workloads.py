@@ -1,0 +1,207 @@
+"""Unit tests for workload generators, drivers and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.em import make_context
+from repro.hashing.family import MULTIPLY_SHIFT
+from repro.tables.chaining import ChainedHashTable
+from repro.workloads.drivers import (
+    compare_tables,
+    measure_insert_cost,
+    measure_query_cost,
+    measure_table,
+    trace_insert_history,
+)
+from repro.workloads.generators import (
+    AdversarialBucketKeys,
+    ClusteredKeys,
+    SequentialKeys,
+    UniformKeys,
+    ZipfKeys,
+    make_generator,
+)
+from repro.workloads.metrics import CostHistory, RunningStats, summarize
+
+U = 2**40
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("kind", ["uniform", "sequential", "zipf", "clustered"])
+    def test_distinct_and_in_range(self, kind):
+        gen = make_generator(kind, U, seed=1)
+        ks = gen.take(2000)
+        assert len(set(ks)) == 2000
+        assert all(0 <= k < U for k in ks)
+
+    @pytest.mark.parametrize("kind", ["uniform", "sequential", "zipf", "clustered"])
+    def test_deterministic_given_seed(self, kind):
+        a = make_generator(kind, U, seed=9).take(200)
+        b = make_generator(kind, U, seed=9).take(200)
+        assert a == b
+
+    def test_reset_replays(self):
+        gen = UniformKeys(U, seed=4)
+        first = gen.take(100)
+        gen.reset()
+        assert gen.take(100) == first
+
+    def test_stream_iterator(self):
+        gen = UniformKeys(U, seed=2)
+        it = gen.stream(chunk=10)
+        got = [next(it) for _ in range(25)]
+        assert len(set(got)) == 25
+
+    def test_sequential_stride(self):
+        gen = SequentialKeys(U, start=100, stride=5)
+        assert gen.take(4) == [100, 105, 110, 115]
+
+    def test_sequential_zero_stride_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialKeys(U, stride=0)
+
+    def test_zipf_needs_theta_above_one(self):
+        with pytest.raises(ValueError):
+            ZipfKeys(U, theta=1.0)
+
+    def test_clustered_keys_confined(self):
+        gen = ClusteredKeys(U, seed=3, clusters=4, width=1000)
+        ks = np.array(sorted(gen.take(500)))
+        gaps = np.diff(ks)
+        # At most 4 big jumps between clusters.
+        assert (gaps > 1000).sum() <= 4
+
+    def test_exhausting_small_universe_rejected(self):
+        gen = UniformKeys(16, seed=0)
+        gen.take(10)
+        with pytest.raises(ValueError):
+            gen.take(10)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown generator"):
+            make_generator("nope", U)
+
+    def test_adversarial_keys_hit_hot_buckets(self):
+        h = MULTIPLY_SHIFT.sample(U, seed=5)
+        gen = AdversarialBucketKeys(U, seed=1, hash_fn=h, buckets=64, hot=2)
+        ks = gen.take(300)
+        assert len(set(ks)) == 300
+        assert all(h.bucket(k, 64) < 2 for k in ks)
+
+
+class TestMetrics:
+    def test_running_stats_mean_std(self):
+        rs = RunningStats()
+        data = [1.0, 2.0, 3.0, 4.0]
+        rs.add_many(data)
+        assert rs.mean == pytest.approx(2.5)
+        assert rs.std == pytest.approx(np.std(data, ddof=1))
+        assert rs.min == 1.0 and rs.max == 4.0
+
+    def test_running_stats_merge_matches_single_stream(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=100), rng.normal(size=50)
+        left, right, whole = RunningStats(), RunningStats(), RunningStats()
+        left.add_many(a)
+        right.add_many(b)
+        whole.add_many(np.concatenate([a, b]))
+        left.merge(right)
+        assert left.count == whole.count
+        assert left.mean == pytest.approx(whole.mean)
+        assert left.variance == pytest.approx(whole.variance)
+
+    def test_merge_with_empty(self):
+        rs = RunningStats()
+        rs.add(5.0)
+        rs.merge(RunningStats())
+        assert rs.count == 1
+        empty = RunningStats()
+        empty.merge(rs)
+        assert empty.mean == 5.0
+
+    def test_summarize(self):
+        s = summarize([1, 1, 2, 10])
+        assert s.count == 4
+        assert s.p50 == pytest.approx(1.5)
+        assert s.max == 10
+
+    def test_summarize_empty(self):
+        s = summarize([])
+        assert s.count == 0
+        assert s.mean == 0.0
+
+    def test_cost_history(self):
+        h = CostHistory()
+        h.record(100, 50)
+        h.record(200, 150)
+        assert h.amortized() == pytest.approx(0.75)
+        assert h.windowed() == [(100, 0.5), (200, 1.0)]
+
+    def test_cost_history_ordering_enforced(self):
+        h = CostHistory()
+        h.record(100, 50)
+        with pytest.raises(ValueError):
+            h.record(50, 60)
+
+
+def chaining_factory(c):
+    return ChainedHashTable(c, MULTIPLY_SHIFT.sample(c.u, 7))
+
+
+def ctx_factory():
+    return make_context(b=64, m=1024)
+
+
+class TestDrivers:
+    def test_measure_insert_cost(self, keys):
+        ctx = ctx_factory()
+        t = chaining_factory(ctx)
+        total, amortized = measure_insert_cost(t, keys[:500])
+        assert total > 0
+        assert amortized == pytest.approx(total / 500)
+
+    def test_measure_query_cost_all_hits(self, keys):
+        ctx = ctx_factory()
+        t = chaining_factory(ctx)
+        t.insert_many(keys[:500])
+        s = measure_query_cost(t, keys[:500], sample_size=100, seed=1)
+        assert s.count == 100
+        assert s.mean >= 1.0
+
+    def test_measure_query_cost_detects_lost_keys(self, keys):
+        ctx = ctx_factory()
+        t = chaining_factory(ctx)
+        t.insert_many(keys[:10])
+        with pytest.raises(AssertionError, match="lost key"):
+            measure_query_cost(t, [999999999999], sample_size=5)
+
+    def test_measure_table_end_to_end(self):
+        m = measure_table(ctx_factory, chaining_factory, 800, seed=3)
+        assert m.n == 800
+        assert m.t_u > 0
+        assert m.t_q >= 1.0
+        assert m.memory_high_water <= 1024
+        row = m.row()
+        assert set(row) >= {"n", "t_u", "t_q"}
+
+    def test_query_ios_excluded_from_insert_figure(self):
+        """t_u must not include the query phase's I/Os."""
+        m1 = measure_table(ctx_factory, chaining_factory, 500, seed=5, query_sample=1)
+        m2 = measure_table(ctx_factory, chaining_factory, 500, seed=5, query_sample=500)
+        assert m1.t_u == pytest.approx(m2.t_u)
+
+    def test_trace_insert_history_monotone(self):
+        hist = trace_insert_history(ctx_factory, chaining_factory, 1000, checkpoints=8)
+        ns = [n for n, _ in hist.checkpoints]
+        assert ns == sorted(ns)
+        assert ns[-1] == 1000
+        assert hist.amortized() > 0
+
+    def test_compare_tables_rows(self):
+        rows = compare_tables(
+            ctx_factory,
+            {"chain-a": chaining_factory, "chain-b": chaining_factory},
+            400,
+        )
+        assert len(rows) == 2
+        assert {r["table"] for r in rows} == {"chain-a", "chain-b"}

@@ -1,0 +1,103 @@
+"""Unit tests for the M/F/S zone decomposition (Section 2 abstraction)."""
+
+import pytest
+
+from repro.lowerbound.zones import (
+    ZoneDecomposition,
+    ZoneHistoryPoint,
+    decompose,
+    verify_query_claim,
+)
+from repro.tables.base import LayoutSnapshot
+
+
+def snap(memory=(), blocks=None, address=None):
+    blocks = blocks or {}
+    addr = address if address is not None else (lambda k: None)
+    return LayoutSnapshot(
+        memory_items=frozenset(memory), blocks=blocks, address=addr
+    )
+
+
+class TestDecompose:
+    def test_memory_zone(self):
+        z = decompose(snap(memory={1, 2}))
+        assert z.memory == {1, 2}
+        assert not z.fast and not z.slow
+
+    def test_fast_zone_requires_address_match(self):
+        s = snap(blocks={0: (10,), 1: (20,)}, address=lambda k: 0)
+        z = decompose(s)
+        assert z.fast == {10}  # 10 is in block 0 = f(10)
+        assert z.slow == {20}  # f(20)=0 but 20 lives in block 1
+
+    def test_none_address_is_slow(self):
+        s = snap(blocks={0: (10,)}, address=lambda k: None)
+        z = decompose(s)
+        assert z.slow == {10}
+
+    def test_memory_copy_beats_disk_copy(self):
+        """An item in memory is in M even if a stale copy sits on disk."""
+        s = snap(memory={10}, blocks={0: (10,)}, address=lambda k: None)
+        z = decompose(s)
+        assert z.memory == {10}
+        assert 10 not in z.slow
+
+    def test_duplicate_disk_copies_any_match_counts(self):
+        """x is fast if *some* copy lives in B_{f(x)}."""
+        s = snap(blocks={0: (10,), 1: (10,)}, address=lambda k: 1)
+        z = decompose(s)
+        assert z.fast == {10}
+
+    def test_k_counts_distinct_items(self):
+        s = snap(memory={1}, blocks={0: (2, 3), 1: (3,)}, address=lambda k: 0)
+        z = decompose(s)
+        assert z.k == 3
+
+
+class TestQueryCostBound:
+    def test_empty_structure(self):
+        z = decompose(snap())
+        assert z.query_cost_lower_bound() == 0.0
+
+    def test_all_fast_is_one(self):
+        s = snap(blocks={0: (1, 2, 3)}, address=lambda k: 0)
+        assert decompose(s).query_cost_lower_bound() == 1.0
+
+    def test_weights_zero_one_two(self):
+        # 1 memory (0 I/O), 1 fast (1 I/O), 1 slow (2 I/Os) -> avg 1.
+        s = snap(
+            memory={1},
+            blocks={0: (2,), 1: (3,)},
+            address=lambda k: 0,
+        )
+        z = decompose(s)
+        assert z.query_cost_lower_bound() == pytest.approx((0 + 1 + 2) / 3)
+
+    def test_inequality_1(self):
+        z = ZoneDecomposition(
+            memory=frozenset(range(5)),
+            fast=frozenset(range(10, 100)),
+            slow=frozenset(range(200, 210)),
+        )
+        # |S| = 10, k = 105.
+        assert z.satisfies_inequality_1(m=8, delta=0.05)  # 10 <= 8 + 5.25
+        assert not z.satisfies_inequality_1(m=1, delta=0.05)
+        assert z.slow_budget(m=8, delta=0.05) == pytest.approx(8 + 0.05 * 105 - 10)
+
+
+class TestHistory:
+    def test_history_point_from_zones(self):
+        z = decompose(snap(memory={1}, blocks={0: (2,)}, address=lambda k: 0))
+        pt = ZoneHistoryPoint.from_zones(inserted=2, z=z)
+        assert pt.memory_size == 1
+        assert pt.fast_size == 1
+        assert pt.query_lb == pytest.approx(0.5)
+
+    def test_verify_query_claim_flags_violations(self):
+        ok = ZoneHistoryPoint(10, memory_size=5, fast_size=5, slow_size=0, query_lb=1.0)
+        bad = ZoneHistoryPoint(
+            100, memory_size=0, fast_size=10, slow_size=90, query_lb=1.9
+        )
+        violations = verify_query_claim([ok, bad], m=4, delta=0.01)
+        assert violations == [bad]
