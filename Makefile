@@ -1,0 +1,29 @@
+# Developer entry points.  PYTHONPATH is injected so no install step is
+# needed inside the container.
+
+PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
+
+.PHONY: test test-fast bench bench-all clean
+
+## Tier-1 verification: the full unit/property suite.
+test:
+	$(PY) -m pytest tests/ -x -q
+
+## Quick subset for inner-loop development (tables + parity + EM layer).
+test-fast:
+	$(PY) -m pytest tests/test_batch_parity.py tests/test_em_disk.py \
+	    tests/test_em_iostats.py tests/test_buffered.py tests/test_logmethod.py -q
+
+## Perf trajectory: scalar-vs-batch throughput, recorded at the repo root.
+## Future PRs regress against BENCH_throughput.json.
+bench:
+	$(PY) -m pytest benchmarks/bench_throughput.py --benchmark-only -s -q \
+	    --benchmark-json=BENCH_throughput.json
+
+## Every paper-artifact benchmark (slow; prints the reproduced tables).
+bench-all:
+	$(PY) -m pytest benchmarks/ --benchmark-only -s -q
+
+clean:
+	rm -rf .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

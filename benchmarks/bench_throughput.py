@@ -1,0 +1,124 @@
+"""THROUGHPUT — scalar vs. batch wall-clock on the Theorem 2 table.
+
+The paper's quantities are exact I/O counts, but producing them at the
+ROADMAP's target scales is wall-clock-bound: the scalar drivers pay
+interpreter prices per key (a Python ``hash`` call, per-op bookkeeping,
+an O(b) in-block scan per probe).  The batch engine moves that work to
+one ``hash_array`` call, argsort bucket partitioning and bulk I/O
+charging per batch — with **bit-identical I/O accounting** (enforced
+here and in ``tests/test_batch_parity.py``).
+
+Measured artifact: keys/sec for inserts and successful lookups of n
+uniform keys through the scalar path (``insert_many`` + per-key
+``lookup``) vs. the batch path (``insert_batch`` + ``lookup_batch``) on
+``BufferedHashTable`` at n ∈ {10⁴, 10⁵, 10⁶}.
+
+Config: b = 1024 words (an 8 KiB block of 8-byte words — a standard
+SSD/RAID stripe page), m = 4096 words.  Expected shape: ≥ 5× pair
+speedup at n = 10⁴–10⁵ where per-key interpreter overhead dominates the
+scalar path; at n = 10⁶ the ratio compresses toward the shared
+record-movement floor (the merge scans both paths must simulate) but
+stays well above break-even.
+
+Run via ``make bench`` (writes ``BENCH_throughput.json`` at the repo
+root) — this file seeds the BENCH perf trajectory for future PRs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.buffered import BufferedHashTable
+from repro.em import make_context
+from repro.hashing.family import MULTIPLY_SHIFT
+
+from conftest import emit, once
+
+B, M, U = 1024, 4096, 2**61 - 1
+SIZES = (10_000, 100_000, 1_000_000)
+REQUIRED_SPEEDUP_AT_1E5 = 5.0
+
+
+def _fresh_table():
+    ctx = make_context(b=B, m=M, u=U)
+    table = BufferedHashTable(ctx, MULTIPLY_SHIFT.sample(ctx.u, seed=61))
+    return ctx, table
+
+
+def _keys(n: int) -> list[int]:
+    # UniformKeys dedup bookkeeping is driver overhead, not table work;
+    # generate the key set once, outside the timed region.
+    from repro.workloads.generators import UniformKeys
+
+    return UniformKeys(U, seed=62).take(n)
+
+
+def _run_scalar(keys) -> tuple[float, float, int]:
+    ctx, table = _fresh_table()
+    t0 = time.perf_counter()
+    table.insert_many(keys)
+    t1 = time.perf_counter()
+    ok = all(table.lookup(k) for k in keys)
+    t2 = time.perf_counter()
+    assert ok, "scalar path lost keys"
+    return t1 - t0, t2 - t1, ctx.stats.total
+
+
+def _run_batch(keys) -> tuple[float, float, int]:
+    ctx, table = _fresh_table()
+    t0 = time.perf_counter()
+    table.insert_batch(keys)
+    t1 = time.perf_counter()
+    ok = bool(table.lookup_batch(keys).all())
+    t2 = time.perf_counter()
+    assert ok, "batch path lost keys"
+    return t1 - t0, t2 - t1, ctx.stats.total
+
+
+def _measure(n: int) -> dict:
+    keys = _keys(n)
+    # Best-of-5 below 1e6 to damp scheduler noise around the asserted
+    # ratio; the 1e6 point is single-shot (its bound has ample margin).
+    reps = 5 if n < 1_000_000 else 1
+    s_ins, s_look, s_io = min(
+        (_run_scalar(keys) for _ in range(reps)), key=lambda r: r[0] + r[1]
+    )
+    b_ins, b_look, b_io = min(
+        (_run_batch(keys) for _ in range(reps)), key=lambda r: r[0] + r[1]
+    )
+    assert s_io == b_io, (
+        f"I/O parity violated at n={n}: scalar={s_io} batch={b_io}"
+    )
+    pair = (s_ins + s_look) / (b_ins + b_look)
+    return {
+        "n": n,
+        "scalar_kops": round(2 * n / (s_ins + s_look) / 1e3, 1),
+        "batch_kops": round(2 * n / (b_ins + b_look) / 1e3, 1),
+        "insert_x": round(s_ins / b_ins, 2),
+        "lookup_x": round(s_look / b_look, 2),
+        "pair_x": round(pair, 2),
+        "ios": s_io,
+    }
+
+
+def test_batch_throughput(benchmark):
+    def sweep():
+        return [_measure(n) for n in SIZES]
+
+    rows = once(benchmark, sweep)
+    emit("Throughput: scalar vs batch on BufferedHashTable", rows)
+
+    by_n = {row["n"]: row for row in rows}
+    benchmark.extra_info["rows"] = rows
+    benchmark.extra_info["pair_speedup_1e5"] = by_n[100_000]["pair_x"]
+
+    assert by_n[100_000]["pair_x"] >= REQUIRED_SPEEDUP_AT_1E5, (
+        f"batch path must be >= {REQUIRED_SPEEDUP_AT_1E5}x at n=1e5, "
+        f"got {by_n[100_000]['pair_x']}x"
+    )
+    # At n=1e6 the shared merge record-movement floor compresses the
+    # ratio; it must still be a clear win.
+    assert by_n[1_000_000]["pair_x"] >= 2.0
+    # Every size must at least break even on both legs.
+    for row in rows:
+        assert row["insert_x"] > 1.0 and row["lookup_x"] > 1.0, row

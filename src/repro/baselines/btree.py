@@ -97,7 +97,7 @@ class BTree(ExternalDictionary):
         return len(self._root.keys) + kids + 2
 
     def _charge_memory(self) -> None:
-        self.ctx.memory.set_charge(f"{self.name}@{id(self)}", self.memory_words())
+        self.ctx.memory.set_charge(self._charge_key, self.memory_words())
 
     # -- node I/O ------------------------------------------------------------
 

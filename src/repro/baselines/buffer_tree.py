@@ -29,11 +29,15 @@ hash table, whose entire point is a 1-I/O query.
 from __future__ import annotations
 
 import bisect
+from typing import Sequence
+
+import numpy as np
 
 from ..em.block import Block
 from ..em.errors import ConfigurationError
 from ..em.storage import EMContext
 from ..tables.base import ExternalDictionary, LayoutSnapshot
+from ..tables.batching import normalize_keys
 
 
 class _Leaf:
@@ -115,7 +119,7 @@ class BufferTree(ExternalDictionary):
         return words
 
     def _charge_memory(self) -> None:
-        self.ctx.memory.set_charge(f"{self.name}@{id(self)}", self.memory_words())
+        self.ctx.memory.set_charge(self._charge_key, self.memory_words())
 
     # -- small helpers -----------------------------------------------------------
 
@@ -128,7 +132,8 @@ class BufferTree(ExternalDictionary):
         return self.ctx.disk.read(leaf.bid).records()
 
     def _write_leaf(self, leaf: _Leaf, items: list[int]) -> None:
-        self.ctx.disk.write(leaf.bid, Block(self.ctx.b, data=items))
+        # Ownership transfer: the block is built here and never reused.
+        self.ctx.disk.store(leaf.bid, Block(self.ctx.b, data=items))
         leaf.size = len(items)
 
     # -- insert path -----------------------------------------------------------
@@ -139,6 +144,33 @@ class BufferTree(ExternalDictionary):
         self._root_buffer.append(key)
         if len(self._root_buffer) >= self._root_buffer_capacity:
             self._flush_root()
+        self._charge_memory()
+
+    def insert_batch(self, keys: "Sequence[int] | np.ndarray") -> None:
+        """Bulk insert: extend the root buffer in flush-aligned segments.
+
+        The buffer tree has no per-key duplicate screen (duplicates
+        collapse at merge time), so batching is pure bookkeeping
+        amortisation; root flushes fire at exactly the scalar
+        boundaries and charge identical I/Os.
+        """
+        keys, _ = normalize_keys(keys)
+        cap = self._root_buffer_capacity
+        memory = self.ctx.memory
+        pos = 0
+        n = len(keys)
+        while pos < n:
+            buf = self._root_buffer
+            seg = keys[pos : pos + cap - len(buf)]
+            buf.extend(seg)
+            pos += len(seg)
+            self._size += len(seg)
+            self.stats.inserts += len(seg)
+            if len(buf) >= cap:
+                # Scalar memory peak: the previous insert's charge saw
+                # the root buffer one item short of capacity.
+                memory.set_charge(self._charge_key, self.memory_words() - 1)
+                self._flush_root()
         self._charge_memory()
 
     def _flush_root(self) -> None:
@@ -194,7 +226,7 @@ class BufferTree(ExternalDictionary):
         for off in range(0, len(pending), b):
             chunk = pending[off : off + b]
             bid = self.ctx.disk.allocate()
-            self.ctx.disk.write(bid, Block(b, data=chunk))
+            self.ctx.disk.store(bid, Block(b, data=chunk))
             node.buffer_blocks.append(bid)
             node.buffer_size += len(chunk)
 

@@ -27,10 +27,21 @@ the round boundary (folded into the first merge scan of the new round).
 
 from __future__ import annotations
 
+from typing import Sequence
+
+import numpy as np
+
 from ..em.storage import EMContext
 from ..hashing.base import HashFunction
 from ..tables.base import ExternalDictionary, LayoutSnapshot
-from ..tables.overflow import ChainedBucket
+from ..tables.batching import (
+    concat_records,
+    fresh_in_order,
+    membership,
+    normalize_keys,
+    partition_by_bucket,
+)
+from ..tables.overflow import ChainedBucket, bulk_fill_buckets, bulk_merge_into
 from .config import BufferedParams
 from .logmethod import LogMethodHashTable
 
@@ -100,9 +111,7 @@ class BufferedHashTable(ExternalDictionary):
         # The inner log-method table charges the shared budget under its
         # own name; charge only the words owned directly by this wrapper
         # to avoid double counting.
-        self.ctx.memory.set_charge(
-            f"{self.name}@{id(self)}", len(self._bootstrap) + 4
-        )
+        self.ctx.memory.set_charge(self._charge_key, len(self._bootstrap) + 4)
 
     # -- geometry ----------------------------------------------------------------
 
@@ -167,7 +176,7 @@ class BufferedHashTable(ExternalDictionary):
                 self.stats.hits += 1
                 return True
             return False
-        if key in self._recent._h0:
+        if self._recent.in_memory(key):
             self.stats.hits += 1
             return True
         bucket = self._hhat[int(self.h.hash(key)) % len(self._hhat)]
@@ -177,6 +186,137 @@ class BufferedHashTable(ExternalDictionary):
         if found:
             self.stats.hits += 1
         return found
+
+    # -- batch operations ---------------------------------------------------------------
+
+    def insert_batch(self, keys: Sequence[int] | np.ndarray) -> None:
+        """Bulk insert with the scalar path's exact merge schedule.
+
+        One shadow-dedup pass, then segments cut at the scalar loop's
+        event boundaries: the bootstrap build, the inner log-method's
+        ``H_0`` migrations (handled by its own ``insert_batch``), and
+        every ``|Ĥ|/β``-insertion merge into ``Ĥ``.  All staging inside
+        those events is vectorised; the charged I/O sequence is
+        bit-identical to ``insert_many``.
+        """
+        fresh = fresh_in_order(keys, self._shadow)
+        if not fresh:
+            return
+        pos = 0
+        n = len(fresh)
+        while pos < n:
+            if self._bootstrapping:
+                seg = fresh[pos : pos + self._bootstrap_capacity - len(self._bootstrap)]
+                self._bootstrap.extend(seg)
+                pos += len(seg)
+                self._size += len(seg)
+                self.stats.inserts += len(seg)
+                if len(self._bootstrap) >= self._bootstrap_capacity:
+                    # Replicate the scalar memory peak: the last charge
+                    # before the bootstrap build saw capacity-1 items.
+                    self.ctx.memory.set_charge(
+                        self._charge_key, len(self._bootstrap) + 3
+                    )
+                    self._finish_bootstrap()
+                    self._charge_memory()
+                continue
+            take = min(self._until_merge, n - pos)
+            seg = fresh[pos : pos + take]
+            # Keys fresh to the outer shadow are necessarily fresh to the
+            # inner table, whose own dedup shadow is only ever consulted
+            # for keys this wrapper has already screened — skip both its
+            # dedup pass and its shadow upkeep.
+            self._recent._insert_fresh(seg)
+            pos += take
+            self._size += take
+            self.stats.inserts += take
+            self._until_merge -= take
+            if self._until_merge <= 0:
+                self._merge_recent()
+        self._charge_memory()
+
+    def lookup_batch(
+        self,
+        keys: Sequence[int] | np.ndarray,
+        *,
+        cost_out: list[int] | None = None,
+    ) -> np.ndarray:
+        key_list, arr = normalize_keys(keys)
+        n = len(key_list)
+        out = np.empty(n, dtype=bool)
+        self.stats.lookups += n
+        if self._bootstrapping:
+            resident = set(self._bootstrap)
+            for i in range(n):
+                out[i] = key_list[i] in resident
+            if cost_out is not None:
+                cost_out.extend([0] * n)
+            self.stats.hits += int(np.count_nonzero(out))
+            return out
+        hhat = self._hhat
+        d = len(hhat)
+        stats = self.ctx.stats
+        if (
+            cost_out is None
+            # Crossover: materialising + sorting Ĥ costs O(stored), so
+            # the vectorised path only pays off for batches that are
+            # not tiny relative to the table (cf. the LSM screen gate).
+            and 24 * n >= self._hhat_count
+            and self._recent.levels_chain_free()
+            and all(not bkt._chain for bkt in hhat)
+        ):
+            # Fully vectorised: one bulk Ĥ probe (membership in Ĥ's
+            # item set equals membership in the key's own bucket, since
+            # items live where they hash) plus bulk level probes for
+            # the Ĥ misses.  Reads are charged in bulk; the pending
+            # read-modify-write block is restored to what the scalar
+            # walk would have left.
+            in_mem = self._recent.memory_membership(arr)
+            rest = ~in_mem
+            nprobe = int(np.count_nonzero(rest))
+            if nprobe == 0:
+                self.stats.hits += int(np.count_nonzero(in_mem))
+                return in_mem
+            stats.reads += nprobe
+            blocks = self.ctx.disk._blocks
+            hhat_items = concat_records(
+                blocks[bkt.primary]._data for bkt in hhat
+            )
+            found_hhat = membership(arr, hhat_items) & rest
+            found_lvl = self._recent.probe_levels_batch(arr, rest & ~found_hhat)
+            i = int(np.flatnonzero(rest)[-1])
+            hv_i = int(self.h.hash(key_list[i]))
+            if found_hhat[i] or not self._recent.nonempty_levels():
+                stats._last_read_block = hhat[hv_i % d].primary
+            else:
+                stats._last_read_block = self._recent._final_probe_block(
+                    key_list[i], hv_i
+                )
+            out = in_mem | found_hhat | found_lvl
+            self.stats.hits += int(np.count_nonzero(out))
+            return out
+        hv_list = self.h.hash_array(arr).tolist()
+        in_mem_one = self._recent.in_memory
+        recent_disk = self._recent.lookup_disk_only
+        hits = 0
+        for i in range(n):
+            key = key_list[i]
+            if in_mem_one(key):
+                found = True
+                if cost_out is not None:
+                    cost_out.append(0)
+            else:
+                h = hv_list[i]
+                before = stats.reads if cost_out is not None else 0
+                found, _ = hhat[h % d].lookup(key)
+                if not found:
+                    found = recent_disk(key, charge=True, hashed=h)
+                if cost_out is not None:
+                    cost_out.append(stats.reads - before)
+            out[i] = found
+            hits += found
+        self.stats.hits += hits
+        return out
 
     # -- bootstrap / rounds -------------------------------------------------------------
 
@@ -195,12 +335,10 @@ class BufferedHashTable(ExternalDictionary):
         for bkt in self._hhat:
             bkt.free_all()
         d = self._buckets_for(capacity)
-        self._hhat = [ChainedBucket(self.ctx.disk) for _ in range(d)]
-        staged: dict[int, list[int]] = {}
-        for x in items:
-            staged.setdefault(int(self.h.hash(x)) % d, []).append(x)
-        for idx, bucket_items in staged.items():
-            self._hhat[idx].replace_all(bucket_items)
+        self._hhat = ChainedBucket.bulk_row(self.ctx.disk, d)
+        arr = np.asarray(items, dtype=np.uint64)
+        parts = partition_by_bucket(arr, self.h.hash_array(arr) % np.uint64(d))
+        bulk_fill_buckets(self._hhat, parts, self.ctx.disk)
         self._hhat_count = len(items)
 
     def _merge_recent(self) -> None:
@@ -233,13 +371,9 @@ class BufferedHashTable(ExternalDictionary):
             # O(|Ĥ|/b) I/Os per |Ĥ|/β-item chunk — the O(β/b)-per-item
             # charge of Theorem 2's analysis.
             d = len(self._hhat)
-            staged: dict[int, list[int]] = {}
-            for x in chunk:
-                staged.setdefault(int(self.h.hash(x)) % d, []).append(x)
-            for idx, incoming in sorted(staged.items()):
-                bucket = self._hhat[idx]
-                existing = bucket.read_all()
-                bucket.replace_all(existing + incoming)
+            arr = np.asarray(chunk, dtype=np.uint64)
+            parts = partition_by_bucket(arr, self.h.hash_array(arr) % np.uint64(d))
+            bulk_merge_into(self._hhat, parts, self.ctx.disk)
             self._hhat_count = new_size
 
         self._until_merge = self._chunk_size()

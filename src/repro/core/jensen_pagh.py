@@ -110,7 +110,7 @@ class JensenPaghTable(ExternalDictionary):
         return 4 + len(self._primary) + len(self._overflow_buckets)
 
     def _charge_memory(self) -> None:
-        self.ctx.memory.set_charge(f"{self.name}@{id(self)}", self.memory_words())
+        self.ctx.memory.set_charge(self._charge_key, self.memory_words())
 
     # -- operations ------------------------------------------------------------
 

@@ -22,10 +22,21 @@ level, matching the paper.
 
 from __future__ import annotations
 
+from typing import Sequence
+
+import numpy as np
+
 from ..em.storage import EMContext
 from ..hashing.base import HashFunction
 from ..tables.base import ExternalDictionary, LayoutSnapshot
-from ..tables.overflow import ChainedBucket
+from ..tables.batching import (
+    concat_records,
+    fresh_in_order,
+    membership,
+    normalize_keys,
+    partition_by_bucket,
+)
+from ..tables.overflow import ChainedBucket, bulk_merge_into
 
 
 class _DiskLevel:
@@ -35,7 +46,7 @@ class _DiskLevel:
 
     def __init__(self, ctx: EMContext, k: int, d_k: int, capacity: int) -> None:
         self.k = k
-        self.buckets = [ChainedBucket(ctx.disk) for _ in range(d_k)]
+        self.buckets = ChainedBucket.bulk_row(ctx.disk, d_k)
         self.count = 0
         self.capacity = capacity
 
@@ -101,7 +112,7 @@ class LogMethodHashTable(ExternalDictionary):
         return len(self._h0) + 2 * len(self._levels) + 2
 
     def _charge_memory(self) -> None:
-        self.ctx.memory.set_charge(f"{self.name}@{id(self)}", self.memory_words())
+        self.ctx.memory.set_charge(self._charge_key, self.memory_words())
 
     # -- level geometry --------------------------------------------------------
 
@@ -141,15 +152,26 @@ class LogMethodHashTable(ExternalDictionary):
             return True
         return False
 
-    def lookup_disk_only(self, key: int, *, charge: bool) -> bool:
+    def in_memory(self, key: int) -> bool:
+        """Is ``key`` resident in the memory table ``H_0`` (no I/O)?
+
+        Public accessor so wrappers (e.g. the Theorem 2 table's probe
+        order) never reach into the private ``_h0`` set.
+        """
+        return key in self._h0
+
+    def lookup_disk_only(
+        self, key: int, *, charge: bool, hashed: int | None = None
+    ) -> bool:
         """Probe each non-empty disk level once.
 
         ``charge=False`` is used for the duplicate check on insertion,
         which a set-semantics table needs but the paper's insert-only
         accounting does not charge; the cost ablation in the benchmarks
-        flips it.
+        flips it.  ``hashed`` lets batch callers pass a precomputed
+        ``h(key)``.
         """
-        hv = int(self.h.hash(key))
+        hv = int(self.h.hash(key)) if hashed is None else hashed
         for lvl in self._levels:
             if lvl is None or lvl.empty:
                 continue
@@ -162,11 +184,178 @@ class LogMethodHashTable(ExternalDictionary):
                 return True
         return False
 
+    # -- batch operations -------------------------------------------------------------
+
+    def insert_batch(self, keys: Sequence[int] | np.ndarray) -> None:
+        """Bulk insert with the scalar path's exact migration schedule.
+
+        Keys are deduplicated against the shadow in one pass, then fed
+        to ``H_0`` in segments that stop precisely where the scalar loop
+        would trigger :meth:`_migrate_h0`; the per-insert bookkeeping
+        (size, stats, memory charge) is amortised over each segment.
+        """
+        fresh = fresh_in_order(keys, self._shadow)
+        if fresh:
+            self._insert_fresh(fresh)
+
+    def _insert_fresh(self, fresh: list[int]) -> None:
+        """Segmented ``H_0`` fill for keys guaranteed new to this table.
+
+        ``insert_batch`` calls this after its shadow dedup; wrappers
+        with their own duplicate screen (the Theorem 2 table) call it
+        directly, skipping a second per-key pass — every key they feed
+        is globally fresh, so this table's shadow never needs to see it.
+        """
+        h0 = self._h0
+        cap = self.h0_capacity
+        pos = 0
+        n = len(fresh)
+        while pos < n:
+            seg = fresh[pos : pos + cap - len(h0)]
+            # Bulk add is order-safe: drains emit H_0 in sorted order, so
+            # the set's internal build history is unobservable.
+            h0.update(seg)
+            took = len(seg)
+            pos += took
+            self._size += took
+            self.stats.inserts += took
+            if len(h0) >= cap:
+                # The scalar loop's memory peak is the charge taken at
+                # the end of the insert *before* the migrating one, when
+                # H_0 held cap-1 items; replicate it before migrating.
+                self.ctx.memory.set_charge(self._charge_key, self.memory_words() - 1)
+                self._migrate_h0()
+        self._charge_memory()
+
+    def lookup_batch(
+        self,
+        keys: Sequence[int] | np.ndarray,
+        *,
+        cost_out: list[int] | None = None,
+    ) -> np.ndarray:
+        key_list, arr = normalize_keys(keys)
+        n = len(key_list)
+        # The whole-level materialisation only pays off for batches that
+        # are not tiny relative to the table (cf. the LSM screen gate).
+        if cost_out is None and 24 * n >= self._size and self.levels_chain_free():
+            # Fully vectorised: membership per level via np.isin (an
+            # item always lives in its own hash bucket, so level-wide
+            # membership equals bucket membership), reads charged in
+            # bulk per level.
+            self.stats.lookups += n
+            in_h0 = self.memory_membership(arr)
+            found = self.probe_levels_batch(arr, ~in_h0)
+            idxs = np.flatnonzero(~in_h0)
+            if idxs.size and self.nonempty_levels():
+                i = int(idxs[-1])
+                self.ctx.stats._last_read_block = self._final_probe_block(
+                    key_list[i], int(self.h.hash(key_list[i]))
+                )
+            out = in_h0 | found
+            self.stats.hits += int(np.count_nonzero(out))
+            return out
+        hv = self.h.hash_array(arr).tolist()
+        out = np.empty(n, dtype=bool)
+        in_mem = self._h0.__contains__
+        stats = self.ctx.stats
+        hits = 0
+        for i in range(n):
+            key = key_list[i]
+            if in_mem(key):
+                found = True
+                if cost_out is not None:
+                    cost_out.append(0)
+            elif cost_out is None:
+                found = self.lookup_disk_only(key, charge=True, hashed=hv[i])
+            else:
+                before = stats.reads
+                found = self.lookup_disk_only(key, charge=True, hashed=hv[i])
+                cost_out.append(stats.reads - before)
+            out[i] = found
+            hits += found
+        self.stats.lookups += n
+        self.stats.hits += hits
+        return out
+
+    # -- vectorised probing helpers ---------------------------------------------------
+
+    def levels_chain_free(self) -> bool:
+        """Do all disk-level buckets consist of a single block?
+
+        Precondition for the fully vectorised lookup path, where each
+        probed level must cost exactly one read per key.
+        """
+        return all(
+            not bkt._chain
+            for lvl in self._levels
+            if lvl is not None
+            for bkt in lvl.buckets
+        )
+
+    def memory_membership(self, arr: np.ndarray) -> np.ndarray:
+        """Vectorised ``in_memory`` over a uint64 key array (no I/O)."""
+        if not self._h0:
+            return np.zeros(len(arr), dtype=bool)
+        h0_arr = np.fromiter(self._h0, dtype=np.uint64, count=len(self._h0))
+        return membership(arr, h0_arr)
+
+    def probe_levels_batch(self, arr: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Vectorised ``lookup_disk_only(charge=True)`` for ``arr[mask]``.
+
+        Requires :meth:`levels_chain_free`.  Charges one read per key
+        per probed level (a key stops probing at its first hit), in
+        bulk.  The pending read-modify-write block is left for the
+        caller to fix up — see the fast path in :meth:`lookup_batch`.
+        """
+        stats = self.ctx.stats
+        found = np.zeros(len(arr), dtype=bool)
+        searching = np.flatnonzero(mask)
+        blocks = self.ctx.disk._blocks
+        for lvl in self._levels:
+            if lvl is None or lvl.empty:
+                continue
+            if searching.size == 0:
+                break
+            stats.reads += int(searching.size)
+            items = concat_records(
+                blocks[bkt.primary]._data for bkt in lvl.buckets
+            )
+            hit = membership(arr[searching], items)
+            found[searching[hit]] = True
+            searching = searching[~hit]
+        return found
+
+    def _final_probe_block(self, key: int, hv: int) -> int | None:
+        """The block id of ``key``'s last charged level probe.
+
+        Mirrors the walk of :meth:`lookup_disk_only`: levels in order,
+        stopping at the first hit; used to restore the pending RMW
+        block after a bulk probe.
+        """
+        blocks = self.ctx.disk._blocks
+        last: int | None = None
+        for lvl in self._levels:
+            if lvl is None or lvl.empty:
+                continue
+            primary = lvl.buckets[hv % len(lvl.buckets)].primary
+            last = primary
+            if key in blocks[primary]._data:
+                break
+        return last
+
     # -- migration -------------------------------------------------------------------
 
     def _migrate_h0(self) -> None:
-        """Flush ``H_0`` into ``H_1``, cascading full levels downward."""
-        items = list(self._h0)
+        """Flush ``H_0`` into ``H_1``, cascading full levels downward.
+
+        ``H_0`` is drained in sorted order: within-bucket placement is
+        order-insensitive for cost, and a canonical order keeps block
+        contents independent of the set's build history (the batch and
+        scalar paths then agree bit-for-bit by construction).
+        """
+        items = np.sort(
+            np.fromiter(self._h0, dtype=np.uint64, count=len(self._h0))
+        ).tolist()
         self._h0.clear()
         self._merge_into_level(1, items)
         k = 1
@@ -189,14 +378,56 @@ class LogMethodHashTable(ExternalDictionary):
         return self._levels[k - 1]  # type: ignore[return-value]
 
     def _drain_level(self, k: int) -> list[int]:
-        """Read out every item of ``H_k`` (charged) and empty it."""
+        """Read out every item of ``H_k`` (charged) and empty it.
+
+        Equivalent to ``read_all()`` + ``replace_all([])`` per bucket —
+        every bucket is read (empty ones too), non-empty ones are
+        rewritten empty — but the common chain-free case is charged in
+        bulk: one read per bucket, one combining write per non-empty
+        bucket, and the pending RMW block left exactly as the scalar
+        loop's last bucket would.
+        """
         lvl = self._get_level(k)
+        disk = self.ctx.disk
+        stats = disk.stats
+        blocks = disk._blocks
+        gen = disk._gen
         items: list[int] = []
+        reads = 0
+        drained = 0
+        last_nonempty = False
         for bkt in lvl.buckets:
-            got = bkt.read_all()
-            if got:
-                items.extend(got)
-                bkt.replace_all([])
+            if bkt._chain:
+                got = bkt.read_all()
+                last_nonempty = bool(got)
+                if got:
+                    items.extend(got)
+                    bkt.replace_all([])
+                continue
+            bid = bkt.primary
+            blk = blocks[bid]
+            data = blk._data
+            reads += 1
+            if data:
+                items.extend(data)
+                blk._data = []
+                gen[bid] = gen.get(bid, 0) + 1
+                drained += 1
+                last_nonempty = True
+            else:
+                last_nonempty = False
+        if reads:
+            stats.reads += reads
+        if drained:
+            # Each rewrite immediately follows the read of its own
+            # block: a combining policy nets it out, and a non-empty
+            # block is never an allocation.
+            if stats.policy.combine_rmw:
+                stats.combined += drained
+            else:
+                stats.writes += drained
+        last = lvl.buckets[-1]
+        stats._last_read_block = None if last_nonempty else last.block_ids[-1]
         lvl.count = 0
         return items
 
@@ -212,13 +443,9 @@ class LogMethodHashTable(ExternalDictionary):
         self.stats.merges += 1
         lvl = self._get_level(k)
         d_k = len(lvl.buckets)
-        staged: dict[int, list[int]] = {}
-        for x in items:
-            staged.setdefault(int(self.h.hash(x)) % d_k, []).append(x)
-        for idx, incoming in sorted(staged.items()):
-            bucket = lvl.buckets[idx]
-            existing = bucket.read_all()
-            bucket.replace_all(existing + incoming)
+        arr = np.asarray(items, dtype=np.uint64)
+        parts = partition_by_bucket(arr, self.h.hash_array(arr) % np.uint64(d_k))
+        bulk_merge_into(lvl.buckets, parts, self.ctx.disk)
         lvl.count += len(items)
 
     # -- instrumentation --------------------------------------------------------------
@@ -284,9 +511,12 @@ class LogMethodHashTable(ExternalDictionary):
         """Read out *all* items (charged), leaving the table empty.
 
         Used by the bootstrapped table when merging the recent items
-        into ``Ĥ``.
+        into ``Ĥ``.  ``H_0`` items lead, in sorted order (see
+        :meth:`_migrate_h0`).
         """
-        items = list(self._h0)
+        items = np.sort(
+            np.fromiter(self._h0, dtype=np.uint64, count=len(self._h0))
+        ).tolist()
         self._h0.clear()
         for lvl in self._levels:
             if lvl is None or lvl.empty:

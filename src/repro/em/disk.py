@@ -1,16 +1,26 @@
 """The simulated disk.
 
 The disk is an infinite array of :class:`~repro.em.block.Block` slots
-addressed by integer block ids.  Every access goes through :meth:`read`
-or :meth:`write`, which charge the shared :class:`~repro.em.iostats.IOStats`.
+addressed by integer block ids.  Every access goes through the charged
+I/O methods, which update the shared :class:`~repro.em.iostats.IOStats`.
 A convenience :meth:`modify` context manager expresses the ubiquitous
 read-modify-write pattern and benefits from the footnote-2 combining in
 the I/O policy.
 
-Reads hand back a *copy* of the stored block by default, which keeps
-the model honest: mutating memory-resident state never silently mutates
-the disk.  Structures that have just written a block they own may use
-``copy=False`` for speed after the invariant is established by tests.
+Two access disciplines coexist:
+
+* the **copying** API (:meth:`read` / :meth:`write`) hands back and
+  stores deep copies, which keeps the model honest by construction:
+  mutating memory-resident state never silently mutates the disk;
+* the **copy-light** API (:meth:`load` / :meth:`stage` / :meth:`store`)
+  loans out the stored block itself so a read-merge-write cycle moves
+  each record once instead of three times.  Honesty is preserved by
+  *generation tagging*: every committed write bumps the block's
+  generation, a loan remembers the generation (and the freshness used
+  for allocation accounting) at loan time, and :meth:`store` falls back
+  to re-inspecting the stored block when the loan went stale.  Both
+  disciplines charge the :class:`IOStats` identically — the parity
+  suite in ``tests/test_batch_parity.py`` pins this down.
 """
 
 from __future__ import annotations
@@ -54,6 +64,10 @@ class Disk:
         self.stats = stats if stats is not None else IOStats()
         self._blocks: dict[int, Block] = {}
         self._next_id = 0
+        #: Generation counter per block id, bumped on every committed write.
+        self._gen: dict[int, int] = {}
+        #: Outstanding copy-light loans: block id -> (generation, fresh).
+        self._loans: dict[int, tuple[int, bool]] = {}
 
     # -- allocation ---------------------------------------------------------
 
@@ -67,16 +81,31 @@ class Disk:
         return bid
 
     def allocate_many(self, count: int, *, record_words: int | None = None) -> list[int]:
-        """Reserve ``count`` consecutive fresh block ids."""
-        return [self.allocate(record_words=record_words) for _ in range(count)]
+        """Reserve ``count`` consecutive fresh block ids in one bulk step.
+
+        Equivalent to ``count`` :meth:`allocate` calls but without the
+        per-call overhead: the id range is claimed once and the empty
+        blocks are built in a single dict update.
+        """
+        if count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {count}")
+        rw = record_words or self.record_words
+        b = self.b
+        start = self._next_id
+        self._next_id = start + count
+        ids = list(range(start, start + count))
+        self._blocks.update((bid, Block(b, record_words=rw)) for bid in ids)
+        return ids
 
     def free(self, block_id: int) -> None:
         """Release a block id; later access raises :class:`InvalidBlockError`."""
         if block_id not in self._blocks:
             raise InvalidBlockError(f"free of unknown block {block_id}")
         del self._blocks[block_id]
+        self._gen.pop(block_id, None)
+        self._loans.pop(block_id, None)
 
-    # -- I/O ----------------------------------------------------------------
+    # -- copying I/O --------------------------------------------------------
 
     def read(self, block_id: int, *, copy: bool = True) -> Block:
         """Fetch a block into memory, charging one read I/O."""
@@ -85,7 +114,7 @@ class Disk:
         return blk.copy() if copy else blk
 
     def write(self, block_id: int, block: Block) -> None:
-        """Store ``block`` at ``block_id``, charging one write I/O.
+        """Store a copy of ``block`` at ``block_id``, charging one write I/O.
 
         The very first write of a freshly allocated block is recorded as
         an allocation (chargeable per policy).
@@ -97,33 +126,118 @@ class Disk:
                 f"block capacity {block.capacity_words} != disk b {self.b}"
             )
         self._blocks[block_id] = block.copy()
+        self._gen[block_id] = self._gen.get(block_id, 0) + 1
+        self.stats.record_write(block_id, fresh=fresh)
+
+    # -- copy-light I/O -----------------------------------------------------
+
+    def load(self, block_id: int) -> Block:
+        """Charged read returning the *live* stored block (no copy).
+
+        The caller must either treat the block as read-only or commit
+        in-place mutations with :meth:`store`.  The loan records the
+        block's generation and allocation-freshness so a later
+        :meth:`store` charges exactly what a copying read/write round
+        trip would have.
+        """
+        blk = self._fetch(block_id)
+        self._loans[block_id] = (
+            self._gen.get(block_id, 0),
+            blk.empty and not blk.header,
+        )
+        self.stats.record_read(block_id)
+        return blk
+
+    def stage(self, block_id: int) -> Block:
+        """Uncharged fetch of the live stored block for wholesale rewrite.
+
+        The write-only analogue of :meth:`load`: the caller overwrites
+        the returned block in place and commits with :meth:`store`,
+        charging a single write I/O.  Freshness is captured now, before
+        the mutation, matching what :meth:`write` would have inferred
+        from the pre-write contents.
+        """
+        blk = self._fetch(block_id)
+        self._loans[block_id] = (
+            self._gen.get(block_id, 0),
+            blk.empty and not blk.header,
+        )
+        return blk
+
+    def store(self, block_id: int, block: Block | None = None) -> None:
+        """Commit a copy-light write of ``block_id``, charging one write I/O.
+
+        With ``block=None`` the stored block was mutated in place via a
+        :meth:`load`/:meth:`stage` loan.  Passing a foreign ``block``
+        transfers ownership without copying — the caller must not mutate
+        it afterwards.  A stale loan (the block was overwritten since
+        loan time) falls back to inferring freshness from the current
+        stored contents, which is what :meth:`write` would see.
+        """
+        existing = self._fetch(block_id)
+        gen = self._gen.get(block_id, 0)
+        loan = self._loans.pop(block_id, None)
+        if loan is not None and loan[0] == gen:
+            fresh = loan[1]
+        else:
+            fresh = existing.empty and not existing.header
+        if block is not None and block is not existing:
+            if block.capacity_words != self.b:
+                raise InvalidBlockError(
+                    f"block capacity {block.capacity_words} != disk b {self.b}"
+                )
+            self._blocks[block_id] = block
+        self._gen[block_id] = gen + 1
         self.stats.record_write(block_id, fresh=fresh)
 
     @contextlib.contextmanager
     def modify(self, block_id: int) -> Iterator[Block]:
-        """Read-modify-write ``block_id`` (one I/O under the paper policy)."""
-        blk = self.read(block_id)
-        yield blk
-        self.write(block_id, blk)
+        """Read-modify-write ``block_id`` (one I/O under the paper policy).
 
-    def peek(self, block_id: int) -> Block:
+        Copy-light: yields the live stored block and commits the
+        mutation on exit, charging read + write exactly as the copying
+        path would (the write combines under the footnote-2 policy).
+        If the body raises, the block is rolled back to its pre-entry
+        contents — an aborted modify must not silently mutate the disk.
+        """
+        blk = self.load(block_id)
+        backup = blk.copy()
+        try:
+            yield blk
+        except BaseException:
+            self._blocks[block_id] = backup
+            self._loans.pop(block_id, None)
+            raise
+        self.store(block_id)
+
+    def peek(self, block_id: int, *, copy: bool = True) -> Block:
         """Inspect a block **without charging I/O** (instrumentation only).
 
         Used by the lower-bound machinery to take layout snapshots; never
-        by the data structures themselves.
+        by the data structures themselves.  ``copy=False`` returns the
+        live block for read-only bulk instrumentation.
         """
-        return self._fetch(block_id).copy()
+        blk = self._fetch(block_id)
+        return blk.copy() if copy else blk
 
     def scan(
         self, block_ids: list[int], visit: Callable[[int, Block], None] | None = None
     ) -> list[Block]:
-        """Read a sequence of blocks, charging one I/O each."""
-        out = []
-        for bid in block_ids:
-            blk = self.read(bid)
-            if visit is not None:
+        """Read a sequence of blocks, charging one I/O each.
+
+        The ``n`` reads are charged in one bulk :meth:`IOStats.record_reads`
+        call; the returned blocks are the live stored blocks (read-only
+        by convention — use :meth:`read` for mutable copies).
+        """
+        blocks = self._blocks
+        try:
+            out = [blocks[bid] for bid in block_ids]
+        except KeyError as exc:
+            raise InvalidBlockError(f"access to unknown block {exc.args[0]}") from None
+        self.stats.record_reads(block_ids)
+        if visit is not None:
+            for bid, blk in zip(block_ids, out):
                 visit(bid, blk)
-            out.append(blk)
         return out
 
     # -- introspection -------------------------------------------------------

@@ -17,7 +17,7 @@ attribute I/Os to individual operations without resetting global state.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Iterator
+from typing import Iterator, Sequence
 import contextlib
 
 
@@ -94,6 +94,22 @@ class IOStats:
         """Charge one read I/O of ``block_id``."""
         self.reads += 1
         self._last_read_block = block_id
+
+    def record_reads(self, block_ids: Sequence[int]) -> None:
+        """Charge one read I/O per block in ``block_ids`` in O(1) Python ops.
+
+        Equivalent to calling :meth:`record_read` once per id in order:
+        the read counter advances by ``len(block_ids)`` and the pending
+        read-modify-write block becomes the *last* id, so a write that
+        immediately follows the final read still combines under the
+        footnote-2 policy.  Bulk scans and merges use this so charging
+        ``n`` I/Os does not cost ``n`` interpreter-level calls.
+        """
+        n = len(block_ids)
+        if n == 0:
+            return
+        self.reads += n
+        self._last_read_block = block_ids[-1]
 
     def record_write(self, block_id: int, *, fresh: bool = False) -> None:
         """Charge a write of ``block_id``.

@@ -15,13 +15,24 @@ abstraction of a hash table as
 Items ``x`` with ``x ∈ B_{f(x)}`` form the fast zone; all other
 disk-resident items form the slow zone (≥ 2 I/Os).  The zone analyser
 in :mod:`repro.lowerbound.zones` consumes these snapshots.
+
+Every table also exposes a **batch operation engine**
+(:meth:`ExternalDictionary.insert_batch` /
+:meth:`ExternalDictionary.lookup_batch`): same semantics and — by
+contract — bit-identical I/O accounting as the scalar loop, but with
+the data-parallel work (hashing, bucket partitioning, bookkeeping)
+amortised over the whole batch.  See ``src/repro/workloads/README.md``
+for the contract and :mod:`repro.tables.batching` for the shared
+vectorised staging primitives.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
 
 from ..em.storage import EMContext
 
@@ -81,6 +92,9 @@ class ExternalDictionary(abc.ABC):
         self.name = name or type(self).__name__
         self.stats = TableStats()
         self._size = 0
+        #: Memory-budget owner key, cached so per-op charging needs no
+        #: string formatting.
+        self._charge_key = f"{self.name}@{id(self)}"
 
     # -- required operations ----------------------------------------------
 
@@ -116,11 +130,60 @@ class ExternalDictionary(abc.ABC):
     # -- shared conveniences ----------------------------------------------------
 
     def insert_many(self, keys: Iterable[int]) -> None:
+        """Scalar reference path: one :meth:`insert` call per key.
+
+        Kept deliberately un-vectorised so the parity suite can hold
+        :meth:`insert_batch` to its I/O-equivalence contract against it.
+        """
         for k in keys:
             self.insert(k)
 
     def lookup_many(self, keys: Iterable[int]) -> list[bool]:
+        """Scalar reference path: one :meth:`lookup` call per key."""
         return [self.lookup(k) for k in keys]
+
+    # -- batch operations --------------------------------------------------------
+
+    def insert_batch(self, keys: Sequence[int] | np.ndarray) -> None:
+        """Insert a batch of keys.
+
+        **I/O-equivalence contract:** must charge exactly the same
+        :class:`~repro.em.iostats.IOStats` counters, produce the same
+        :class:`TableStats` and the same :meth:`layout_snapshot` as
+        ``insert_many(keys)`` — under every I/O policy.  The base
+        implementation *is* the scalar loop; subclasses override it with
+        vectorised paths (one ``hash_array`` call, bulk bucket
+        partitioning) that honour the contract.
+        """
+        for k in keys:
+            self.insert(int(k))
+
+    def lookup_batch(
+        self,
+        keys: Sequence[int] | np.ndarray,
+        *,
+        cost_out: list[int] | None = None,
+    ) -> np.ndarray:
+        """Membership queries for a batch of keys, in order.
+
+        Returns a boolean array aligned with ``keys``.  When
+        ``cost_out`` is given, the charged I/O total of each individual
+        lookup is appended to it (the vectorised replacement for the
+        driver-side snapshot/delta loop).  Subject to the same
+        I/O-equivalence contract as :meth:`insert_batch`.
+        """
+        n = len(keys)
+        out = np.empty(n, dtype=bool)
+        if cost_out is None:
+            for i, k in enumerate(keys):
+                out[i] = self.lookup(int(k))
+            return out
+        stats = self.ctx.stats
+        for i, k in enumerate(keys):
+            before = stats.reads + stats.writes
+            out[i] = self.lookup(int(k))
+            cost_out.append(stats.reads + stats.writes - before)
+        return out
 
     def __len__(self) -> int:
         return self._size

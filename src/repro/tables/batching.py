@@ -1,0 +1,135 @@
+"""Vectorised staging primitives shared by the batch operation engine.
+
+The batch APIs (:meth:`~repro.tables.base.ExternalDictionary.insert_batch`
+/ :meth:`~repro.tables.base.ExternalDictionary.lookup_batch`) promise
+**bit-identical I/O accounting** to their scalar counterparts while
+paying numpy — not interpreter — prices for the data-parallel parts:
+hashing a batch (one ``hash_array`` call) and partitioning it into
+per-bucket groups (one stable argsort).
+
+Both the scalar and the batch merge paths stage through the same
+partition (:func:`partition_by_bucket`): buckets in ascending index
+order, so bucket visit order, allocation order and every charged I/O
+are identical by construction — the parity suite
+(``tests/test_batch_parity.py``) holds both paths to it.  Within a
+bucket the item order is deterministic for a given numpy build but
+otherwise arbitrary (plain argsort, no stability guarantee); that is
+deliberate, since block-content order is never load-bearing — lookups
+scan whole blocks and I/O counts are order-independent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def normalize_keys(keys: Sequence[int] | np.ndarray) -> tuple[list[int], np.ndarray]:
+    """Return ``keys`` as (list of Python ints, uint64 array).
+
+    The array feeds ``hash_array``; the list feeds the table's Python
+    containers.  The list is always re-materialised through numpy so no
+    numpy scalars leak into blocks, sets, or scalar ``hash()`` calls —
+    numpy ints compare equal to Python ints but have surprising
+    arithmetic (``np.uint64 + int -> float``, and the Lemire reduction
+    ``(v * u) >> 64`` silently wraps at 64 bits on ``np.uint64``), so a
+    caller-supplied list of numpy scalars must not pass through as-is.
+    """
+    arr = (
+        keys.astype(np.uint64, copy=False)
+        if isinstance(keys, np.ndarray)
+        else np.asarray(keys, dtype=np.uint64)
+    )
+    return arr.tolist(), arr
+
+
+def partition_by_bucket(
+    keys: Sequence[int] | np.ndarray, bucket_idx: np.ndarray
+) -> list[tuple[int, list[int]]]:
+    """Group ``keys`` by bucket index, ascending (deterministic but
+    arbitrary order within each group — see the module docstring).
+
+    Returns ``[(bucket, items), ...]`` for non-empty buckets only, the
+    bucket visit order every merge/rebuild path (scalar and batch)
+    stages through.
+    """
+    n = len(bucket_idx)
+    if n == 0:
+        return []
+    arr = np.asarray(keys, dtype=np.uint64)
+    idx = np.asarray(bucket_idx)
+    # Plain (unstable) argsort: within-bucket order is deterministic but
+    # arbitrary, which is fine — both the scalar and batch merge paths
+    # stage through this same partition, and block-content order is
+    # never load-bearing (lookups scan whole blocks).
+    order = np.argsort(idx)
+    sorted_idx = idx[order]
+    starts = np.flatnonzero(np.r_[True, sorted_idx[1:] != sorted_idx[:-1]])
+    buckets = sorted_idx[starts].tolist()
+    bounds = starts.tolist()
+    bounds.append(n)
+    key_seq = arr[order].tolist()
+    return [
+        (buckets[j], key_seq[bounds[j] : bounds[j + 1]])
+        for j in range(len(buckets))
+    ]
+
+
+def membership(queries: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Vectorised set membership: is each query present in ``values``?
+
+    Sort-plus-binary-search, cheaper than ``np.isin`` (which
+    deduplicates both sides) for the batch-lookup workloads here.
+    """
+    if values.size == 0:
+        return np.zeros(len(queries), dtype=bool)
+    sv = np.sort(values)
+    pos = np.searchsorted(sv, queries)
+    return sv[np.minimum(pos, sv.size - 1)] == queries
+
+
+def concat_records(datas: Iterable[Sequence[int]]) -> np.ndarray:
+    """Concatenate per-block record lists into one uint64 array.
+
+    The materialisation step of the vectorised lookup fast paths: feed
+    it the ``_data`` lists of a bucket row's primary blocks and probe
+    the result with :func:`membership`.
+    """
+    arrays = [np.asarray(d, dtype=np.uint64) for d in datas if d]
+    if not arrays:
+        return np.empty(0, dtype=np.uint64)
+    return np.concatenate(arrays)
+
+
+def fresh_in_order(keys: Iterable[int], shadow: set[int]) -> list[int]:
+    """Keys not yet in ``shadow``, first occurrence only, order preserved.
+
+    Updates ``shadow`` with the returned keys — the bulk equivalent of
+    the scalar per-insert ``if key in shadow: return; shadow.add(key)``
+    duplicate guard.  Keys are re-materialised through numpy on every
+    path so no numpy scalars reach the shadow (or, downstream, ``H_0``
+    and the blocks) regardless of what the caller supplied.
+    """
+    arr = np.asarray(
+        keys if isinstance(keys, (list, np.ndarray)) else list(keys),
+        dtype=np.uint64,
+    )
+    if not shadow:
+        # Empty-shadow fast path: vectorised first-occurrence dedup.
+        _, first = np.unique(arr, return_index=True)
+        if len(first) == len(arr):
+            out = arr.tolist()
+        else:
+            first.sort()
+            out = arr[first].tolist()
+        shadow.update(out)
+        return out
+    out = []
+    append = out.append
+    add = shadow.add
+    for k in arr.tolist():
+        if k not in shadow:
+            add(k)
+            append(k)
+    return out

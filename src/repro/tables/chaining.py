@@ -14,12 +14,15 @@ maintenance the paper notes costs only ``O(1/b)`` extra amortized I/Os.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
+
+import numpy as np
 
 from ..em.storage import EMContext
 from ..hashing.base import HashFunction
 from .base import ExternalDictionary, LayoutSnapshot
-from .overflow import ChainedBucket
+from .batching import normalize_keys, partition_by_bucket
+from .overflow import ChainedBucket, bulk_fill_buckets
 
 
 class ChainedHashTable(ExternalDictionary):
@@ -66,7 +69,7 @@ class ChainedHashTable(ExternalDictionary):
         return 2 + len(self._buckets)
 
     def _charge_memory(self) -> None:
-        self.ctx.memory.set_charge(f"{self.name}@{id(self)}", self.memory_words())
+        self.ctx.memory.set_charge(self._charge_key, self.memory_words())
 
     # -- core operations ---------------------------------------------------------
 
@@ -99,6 +102,50 @@ class ChainedHashTable(ExternalDictionary):
             return True
         return False
 
+    # -- batch operations ---------------------------------------------------------
+
+    def insert_batch(self, keys: Sequence[int] | np.ndarray) -> None:
+        """Vectorised-hash insert: one ``hash_array`` call for the batch.
+
+        The per-key chain walk (and the resize predicate it may trigger)
+        stays in key order, so the charged I/Os are identical to the
+        scalar loop; rebuilds mid-batch are handled by re-reducing the
+        stored full-entropy hash against the new bucket count.
+        """
+        key_list, arr = normalize_keys(keys)
+        hv = self.h.hash_array(arr).tolist()
+        buckets = self._buckets
+        for key, h in zip(key_list, hv):
+            if buckets[h % len(buckets)].insert(key):
+                self._size += 1
+                self.stats.inserts += 1
+                if self.max_load is not None and self.load_factor() > self.max_load:
+                    self._rebuild(2 * len(buckets))
+                    buckets = self._buckets
+
+    def lookup_batch(
+        self,
+        keys: Sequence[int] | np.ndarray,
+        *,
+        cost_out: list[int] | None = None,
+    ) -> np.ndarray:
+        key_list, arr = normalize_keys(keys)
+        n = len(key_list)
+        d = len(self._buckets)
+        idx = (self.h.hash_array(arr) % np.uint64(d)).tolist()
+        buckets = self._buckets
+        out = np.empty(n, dtype=bool)
+        hits = 0
+        for i in range(n):
+            found, ios = buckets[idx[i]].lookup(key_list[i])
+            out[i] = found
+            hits += found
+            if cost_out is not None:
+                cost_out.append(ios)
+        self.stats.lookups += n
+        self.stats.hits += hits
+        return out
+
     # -- maintenance -----------------------------------------------------------------
 
     def load_factor(self) -> float:
@@ -113,19 +160,24 @@ class ChainedHashTable(ExternalDictionary):
         return self._size / (len(self._buckets) * self.ctx.b)
 
     def _rebuild(self, new_buckets: int) -> None:
-        """Migrate into ``new_buckets`` fresh buckets (a full scan)."""
+        """Migrate into ``new_buckets`` fresh buckets (a full scan).
+
+        The scan order is unchanged from the scalar original (read and
+        free each old bucket, then write receiving buckets ascending);
+        only the staging is vectorised — one ``hash_array`` over all
+        items replaces a per-item ``bucket()`` call.
+        """
         self.stats.rebuilds += 1
         old = self._buckets
-        self._buckets = [ChainedBucket(self.ctx.disk) for _ in range(new_buckets)]
+        self._buckets = ChainedBucket.bulk_row(self.ctx.disk, new_buckets)
         self._charge_memory()
-        staging: list[list[int]] = [[] for _ in range(new_buckets)]
+        moved: list[int] = []
         for bkt in old:
-            for item in bkt.read_all():
-                staging[int(self.h.bucket(item, new_buckets))].append(item)
+            moved.extend(bkt.read_all())
             bkt.free_all()
-        for idx, items in enumerate(staging):
-            if items:
-                self._buckets[idx].replace_all(items)
+        arr = np.asarray(moved, dtype=np.uint64)
+        parts = partition_by_bucket(arr, self.h.hash_array(arr) % np.uint64(new_buckets))
+        bulk_fill_buckets(self._buckets, parts, self.ctx.disk)
 
     # -- instrumentation ----------------------------------------------------------------
 

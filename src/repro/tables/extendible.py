@@ -53,7 +53,7 @@ class ExtendibleHashTable(ExternalDictionary):
         return len(self._directory) + len(self._local_depth) + 2
 
     def _charge_memory(self) -> None:
-        self.ctx.memory.set_charge(f"{self.name}@{id(self)}", self.memory_words())
+        self.ctx.memory.set_charge(self._charge_key, self.memory_words())
 
     # -- addressing -----------------------------------------------------------------
 

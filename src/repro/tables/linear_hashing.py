@@ -58,7 +58,7 @@ class LinearHashingTable(ExternalDictionary):
         return 4 + len(self._buckets)
 
     def _charge_memory(self) -> None:
-        self.ctx.memory.set_charge(f"{self.name}@{id(self)}", self.memory_words())
+        self.ctx.memory.set_charge(self._charge_key, self.memory_words())
 
     # -- addressing -------------------------------------------------------------------
 

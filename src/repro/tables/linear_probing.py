@@ -20,9 +20,14 @@ completeness and is linear in the cluster length.)
 
 from __future__ import annotations
 
+from typing import Sequence
+
+import numpy as np
+
 from ..em.storage import EMContext
 from ..hashing.base import HashFunction
 from .base import ExternalDictionary, LayoutSnapshot
+from .batching import normalize_keys
 
 
 class LinearProbingHashTable(ExternalDictionary):
@@ -53,7 +58,7 @@ class LinearProbingHashTable(ExternalDictionary):
         return 4
 
     def _charge_memory(self) -> None:
-        self.ctx.memory.set_charge(f"{self.name}@{id(self)}", self.memory_words())
+        self.ctx.memory.set_charge(self._charge_key, self.memory_words())
 
     # -- addressing ----------------------------------------------------------------
 
@@ -75,15 +80,21 @@ class LinearProbingHashTable(ExternalDictionary):
     def insert(self, key: int) -> None:
         if self._size + 1 > self.max_fill * len(self._block_ids) * self.ctx.b:
             self._rebuild(2 * len(self._block_ids))
-        home = self.home_of(key)
-        for idx in self._probe_sequence(home):
-            bid = self._block_ids[idx]
-            blk = self.ctx.disk.read(bid)
+        self._insert_at(key, self.home_of(key))
+
+    def _insert_at(self, key: int, home: int) -> None:
+        """Probe forward from ``home`` and place ``key`` (copy-light I/O)."""
+        disk = self.ctx.disk
+        ids = self._block_ids
+        d = len(ids)
+        for step in range(d):
+            bid = ids[(home + step) % d]
+            blk = disk.load(bid)
             if key in blk:
                 return
             if not blk.full:
                 blk.append(key)
-                self.ctx.disk.write(bid, blk)
+                disk.store(bid)
                 self._size += 1
                 self.stats.inserts += 1
                 return
@@ -91,20 +102,65 @@ class LinearProbingHashTable(ExternalDictionary):
             # know to keep probing past it.
             if not blk.header.get("overflowed"):
                 blk.header["overflowed"] = True
-                self.ctx.disk.write(bid, blk)
+                disk.store(bid)
         raise RuntimeError("linear probing table full despite max_fill guard")
 
     def lookup(self, key: int) -> bool:
         self.stats.lookups += 1
-        home = self.home_of(key)
-        for idx in self._probe_sequence(home):
-            blk = self.ctx.disk.read(self._block_ids[idx])
+        found, _ = self._lookup_at(key, self.home_of(key))
+        if found:
+            self.stats.hits += 1
+        return found
+
+    def _lookup_at(self, key: int, home: int) -> tuple[bool, int]:
+        """Probe forward from ``home``; returns ``(found, blocks read)``."""
+        disk = self.ctx.disk
+        ids = self._block_ids
+        d = len(ids)
+        for step in range(d):
+            blk = disk.load(ids[(home + step) % d])
             if key in blk:
-                self.stats.hits += 1
-                return True
+                return True, step + 1
             if not blk.header.get("overflowed"):
-                return False
-        return False
+                return False, step + 1
+        return False, d
+
+    # -- batch operations ---------------------------------------------------------
+
+    def insert_batch(self, keys: Sequence[int] | np.ndarray) -> None:
+        """Vectorised-hash insert; probe walks stay in key order."""
+        key_list, arr = normalize_keys(keys)
+        hv = self.h.hash_array(arr).tolist()
+        max_fill = self.max_fill
+        b = self.ctx.b
+        for key, h in zip(key_list, hv):
+            d = len(self._block_ids)
+            if self._size + 1 > max_fill * d * b:
+                self._rebuild(2 * d)
+                d = len(self._block_ids)
+            self._insert_at(key, h % d)
+
+    def lookup_batch(
+        self,
+        keys: Sequence[int] | np.ndarray,
+        *,
+        cost_out: list[int] | None = None,
+    ) -> np.ndarray:
+        key_list, arr = normalize_keys(keys)
+        n = len(key_list)
+        d = len(self._block_ids)
+        homes = (self.h.hash_array(arr) % np.uint64(d)).tolist()
+        out = np.empty(n, dtype=bool)
+        hits = 0
+        for i in range(n):
+            found, ios = self._lookup_at(key_list[i], homes[i])
+            out[i] = found
+            hits += found
+            if cost_out is not None:
+                cost_out.append(ios)
+        self.stats.lookups += n
+        self.stats.hits += hits
+        return out
 
     def delete(self, key: int) -> bool:
         home = self.home_of(key)
@@ -165,8 +221,9 @@ class LinearProbingHashTable(ExternalDictionary):
         self.stats.rebuilds += 1
         old_ids = self._block_ids
         items: list[int] = []
+        for blk in self.ctx.disk.scan(old_ids):
+            items.extend(blk)
         for bid in old_ids:
-            items.extend(self.ctx.disk.read(bid).records())
             self.ctx.disk.free(bid)
         self._block_ids = self.ctx.disk.allocate_many(new_blocks)
         self._charge_memory()

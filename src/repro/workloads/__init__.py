@@ -8,6 +8,10 @@
 * :mod:`repro.workloads.metrics` — summary statistics and run history.
 * :mod:`repro.workloads.trace` — interleaved op traces: mixed-workload
   generation, strict replay with per-op-kind costs, save/load.
+
+The drivers run on the tables' batch APIs (``insert_batch`` /
+``lookup_batch``), which charge I/Os bit-identically to the scalar
+loops — see ``README.md`` in this directory for the contract.
 """
 
 from .generators import (

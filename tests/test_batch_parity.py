@@ -1,0 +1,294 @@
+"""Batch vs. scalar parity: the I/O-equivalence contract, enforced.
+
+``insert_batch`` / ``lookup_batch`` promise **bit-identical** I/O
+accounting to the scalar per-key loops: the same
+:class:`~repro.em.iostats.IOStats` counters (reads, writes, combined
+read-modify-writes, allocations), the same
+:class:`~repro.tables.base.TableStats`, the same
+:meth:`~repro.tables.base.ExternalDictionary.layout_snapshot` contents
+(block ids included — allocation order must match), and the same memory
+high-water mark — under both the paper's footnote-2 policy and the
+strict one, across seeds, with duplicate keys in the stream, and when
+batches interleave with queries mid-build.
+
+Two context shapes are exercised: a roomy one where all buckets stay
+single-block (the vectorised fast paths), and a cramped one (tiny
+``b``) where overflow chains force every fallback branch.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.baselines.buffer_tree import BufferTree
+from repro.baselines.lsm import LSMTree
+from repro.core.buffered import BufferedHashTable
+from repro.core.logmethod import LogMethodHashTable
+from repro.em import PAPER_POLICY, STRICT_POLICY, make_context
+from repro.hashing.family import MULTIPLY_SHIFT
+from repro.tables import (
+    ChainedHashTable,
+    ExtendibleHashTable,
+    LinearHashingTable,
+    LinearProbingHashTable,
+)
+
+N_KEYS = 1800
+N_PROBE = 600
+
+
+def _chained(ctx):
+    return ChainedHashTable(ctx, MULTIPLY_SHIFT.sample(ctx.u, seed=7))
+
+
+def _linear_probing(ctx):
+    return LinearProbingHashTable(ctx, MULTIPLY_SHIFT.sample(ctx.u, seed=7))
+
+
+def _logmethod(ctx):
+    return LogMethodHashTable(ctx, MULTIPLY_SHIFT.sample(ctx.u, seed=7))
+
+
+def _buffered(ctx):
+    return BufferedHashTable(ctx, MULTIPLY_SHIFT.sample(ctx.u, seed=7))
+
+
+def _lsm(ctx):
+    return LSMTree(ctx, bloom_bits_per_key=4.0)
+
+
+def _buffer_tree(ctx):
+    return BufferTree(ctx)
+
+
+def _extendible(ctx):
+    return ExtendibleHashTable(ctx, MULTIPLY_SHIFT.sample(ctx.u, seed=7))
+
+
+def _linear_hashing(ctx):
+    return LinearHashingTable(ctx, MULTIPLY_SHIFT.sample(ctx.u, seed=7))
+
+
+#: factory -> context kwargs per shape ("roomy" single-block, "cramped"
+#: chain-heavy).  BufferTree needs m >= 4b, so its cramped shape differs.
+TABLES = {
+    "chained": (_chained, dict(b=32, m=512), dict(b=4, m=128)),
+    "linear_probing": (_linear_probing, dict(b=32, m=512), dict(b=4, m=128)),
+    "logmethod": (_logmethod, dict(b=32, m=512), dict(b=4, m=128)),
+    "buffered": (_buffered, dict(b=32, m=512), dict(b=4, m=128)),
+    "lsm": (_lsm, dict(b=32, m=512), dict(b=4, m=128)),
+    "buffer_tree": (_buffer_tree, dict(b=32, m=512), dict(b=8, m=64)),
+    # Fallback (base-class) batch paths, for API-contract coverage.
+    "extendible": (_extendible, dict(b=32, m=512), dict(b=8, m=256)),
+    "linear_hashing": (_linear_hashing, dict(b=32, m=512), dict(b=8, m=256)),
+}
+
+POLICIES = {"paper": PAPER_POLICY, "strict": STRICT_POLICY}
+
+
+def _keys(seed: int, *, dupes: bool) -> tuple[list[int], list[int]]:
+    rnd = random.Random(seed)
+    keys = rnd.sample(range(10**12), N_KEYS)
+    if dupes:
+        # Re-insertions scattered mid-stream exercise the dedup screens.
+        keys = keys[:1200] + keys[200:500] + keys[1200:]
+    probe = keys[::3] + rnd.sample(range(10**12), N_PROBE)
+    return keys, probe
+
+
+def _state(ctx, table):
+    snap = table.layout_snapshot()
+    return {
+        "io": ctx.stats.snapshot(),
+        "table_stats": table.stats,
+        "memory_items": snap.memory_items,
+        "blocks": snap.blocks,
+        "size": len(table),
+        "high_water": ctx.memory.high_water,
+    }
+
+
+def _assert_same(scalar_state, batch_state, label: str) -> None:
+    s, b = scalar_state["io"], batch_state["io"]
+    assert (s.reads, s.writes, s.combined, s.allocations) == (
+        b.reads,
+        b.writes,
+        b.combined,
+        b.allocations,
+    ), f"{label}: I/O counters diverge: scalar={s} batch={b}"
+    assert scalar_state["table_stats"] == batch_state["table_stats"], label
+    assert scalar_state["size"] == batch_state["size"], label
+    assert scalar_state["memory_items"] == batch_state["memory_items"], label
+    assert scalar_state["blocks"] == batch_state["blocks"], (
+        f"{label}: disk layouts diverge"
+    )
+    assert scalar_state["high_water"] == batch_state["high_water"], label
+
+
+def _run_pair(factory, ctx_kwargs, policy, keys, probe, *, chunks: int):
+    """Drive a scalar and a batch table identically; compare everything."""
+    ctx_s = make_context(policy=policy, **ctx_kwargs)
+    ctx_b = make_context(policy=policy, **ctx_kwargs)
+    table_s = factory(ctx_s)
+    table_b = factory(ctx_b)
+
+    bounds = [len(keys) * i // chunks for i in range(chunks + 1)]
+    for lo, hi in zip(bounds, bounds[1:]):
+        chunk = keys[lo:hi]
+        table_s.insert_many(chunk)
+        table_b.insert_batch(chunk)
+        # Queries interleaved between insert batches (mix of hits and
+        # misses) must agree in results and in charged I/Os.
+        r_s = [table_s.lookup(k) for k in probe]
+        r_b = table_b.lookup_batch(probe)
+        assert r_s == r_b.tolist(), "lookup results diverge mid-build"
+        assert isinstance(r_b, np.ndarray) and r_b.dtype == bool
+    _assert_same(_state(ctx_s, table_s), _state(ctx_b, table_b), "final")
+    table_s.check_invariants()
+    table_b.check_invariants()
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+@pytest.mark.parametrize("name", sorted(TABLES))
+def test_single_batch_parity(name, policy_name):
+    factory, roomy, _ = TABLES[name]
+    keys, probe = _keys(seed=11, dupes=False)
+    _run_pair(factory, roomy, POLICIES[policy_name], keys, probe, chunks=1)
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+@pytest.mark.parametrize("name", sorted(TABLES))
+def test_interleaved_batches_parity(name, policy_name):
+    factory, roomy, _ = TABLES[name]
+    keys, probe = _keys(seed=23, dupes=True)
+    _run_pair(factory, roomy, POLICIES[policy_name], keys, probe, chunks=4)
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+@pytest.mark.parametrize("name", sorted(TABLES))
+def test_cramped_chains_parity(name, policy_name):
+    """Tiny blocks force overflow chains: the vectorised fast paths must
+    detect them and fall back without breaking equivalence."""
+    factory, _, cramped = TABLES[name]
+    keys, probe = _keys(seed=37, dupes=True)
+    keys, probe = keys[:700], probe[:300]
+    # Soft memory budget: these deliberately under-sized contexts blow
+    # the m-word limit (directories/fences alone exceed it); the
+    # high-water mark is still compared for parity.
+    cramped = dict(cramped, hard_memory=False)
+    _run_pair(factory, cramped, POLICIES[policy_name], keys, probe, chunks=3)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_seed_sweep_buffered(seed):
+    """The tentpole table, across seeds, paper policy, single batch."""
+    factory, roomy, _ = TABLES["buffered"]
+    keys, probe = _keys(seed=seed, dupes=seed % 2 == 0)
+    _run_pair(factory, roomy, PAPER_POLICY, keys, probe, chunks=2)
+
+
+@pytest.mark.parametrize("name", sorted(TABLES))
+def test_cost_out_matches_snapshot_deltas(name):
+    """``lookup_batch(cost_out=...)`` reports exactly the per-query I/O
+    deltas the old driver-side snapshot loop measured."""
+    factory, roomy, _ = TABLES[name]
+    keys, probe = _keys(seed=41, dupes=False)
+    ctx = make_context(**roomy)
+    table = factory(ctx)
+    table.insert_batch(keys)
+
+    costs: list[int] = []
+    found = table.lookup_batch(probe, cost_out=costs)
+    assert len(costs) == len(probe)
+
+    ctx2 = make_context(**roomy)
+    table2 = factory(ctx2)
+    table2.insert_batch(keys)
+    expected_costs = []
+    expected_found = []
+    for k in probe:
+        before = ctx2.stats.snapshot()
+        expected_found.append(table2.lookup(k))
+        expected_costs.append(ctx2.stats.delta_since(before).total)
+    assert costs == expected_costs
+    assert found.tolist() == expected_found
+
+
+def test_lsm_tombstone_resurrection_parity():
+    """Deletes + re-inserts route through the LSM batch path's tombstone
+    branch identically to the scalar one."""
+    keys, _ = _keys(seed=53, dupes=False)
+    pre, rest = keys[:800], keys[800:1400]
+    ctx_s = make_context(b=32, m=512)
+    ctx_b = make_context(b=32, m=512)
+    t_s, t_b = LSMTree(ctx_s), LSMTree(ctx_b)
+    for t in (t_s, t_b):
+        t.insert_many(pre)
+        for k in pre[::5]:
+            t.delete(k)
+    stream = pre[::5][:60] + rest  # resurrect some tombstoned keys
+    t_s.insert_many(stream)
+    t_b.insert_batch(stream)
+    probe = pre + rest
+    assert [t_s.lookup(k) for k in probe] == t_b.lookup_batch(probe).tolist()
+    _assert_same(_state(ctx_s, t_s), _state(ctx_b, t_b), "lsm-tombstones")
+
+
+def test_lsm_resurrect_memory_peak_without_flush():
+    """The high-water mark must capture the pre-resurrect maximum even
+    when no flush boundary charges it (fresh inserts grow the memtable,
+    then resurrects shrink the tombstone set)."""
+
+    def build(ctx):
+        t = LSMTree(ctx, memtable_items=500)
+        t.insert_many(range(1, 101))
+        for k in range(1, 101):
+            t.delete(k)  # all tombstoned (levels hold the copies)
+        return t
+
+    ctx_s = make_context(b=32, m=2048)
+    ctx_b = make_context(b=32, m=2048)
+    t_s, t_b = build(ctx_s), build(ctx_b)
+    # 150 fresh keys then 100 resurrects: the peak (memtable 150 +
+    # tombstones 100) occurs mid-stream, with no flush in between.
+    stream = list(range(1000, 1150)) + list(range(1, 101))
+    t_s.insert_many(stream)
+    t_b.insert_batch(stream)
+    _assert_same(_state(ctx_s, t_s), _state(ctx_b, t_b), "lsm-resurrect-peak")
+
+
+def test_numpy_scalar_lists_do_not_corrupt_state():
+    """A list of numpy scalars (e.g. elements of an ndarray) must behave
+    exactly like the same list of Python ints — numpy uint64 arithmetic
+    must never reach scalar ``hash()`` or the stored blocks."""
+    keys = list(range(1, 1501))
+    np_keys = [np.uint64(k) for k in keys]
+    probe = keys[::5] + [99999991, 99999992]
+    np_probe = [np.uint64(k) for k in probe]
+    ctx_i = make_context(b=32, m=512)
+    ctx_n = make_context(b=32, m=512)
+    t_i, t_n = _buffered(ctx_i), _buffered(ctx_n)
+    t_i.insert_batch(keys)
+    t_n.insert_batch(np_keys)
+    r_i = t_i.lookup_batch(probe)
+    r_n = t_n.lookup_batch(np_probe)
+    assert r_i.tolist() == r_n.tolist()
+    _assert_same(_state(ctx_i, t_i), _state(ctx_n, t_n), "np-scalar-list")
+    for items in t_n.layout_snapshot().blocks.values():
+        assert all(type(x) is int for x in items)
+
+
+def test_insert_batch_accepts_numpy_arrays():
+    ctx = make_context(b=32, m=512)
+    table = _buffered(ctx)
+    arr = np.array([5, 17, 29, 5, 17, 93], dtype=np.uint64)
+    table.insert_batch(arr)
+    assert len(table) == 4
+    out = table.lookup_batch(np.array([5, 6, 93], dtype=np.uint64))
+    assert out.tolist() == [True, False, True]
+    snap = table.layout_snapshot()
+    for items in snap.blocks.values():
+        assert all(type(x) is int for x in items), "numpy ints leaked to disk"

@@ -135,6 +135,22 @@ class TestInstrumentation:
         assert ids[0] in disk
         assert 999 not in disk
 
+    def test_store_ownership_transfer_charges_like_write(self):
+        """store(bid, block) transfers the block without copying and
+        charges exactly like write(bid, block)."""
+        d1, d2 = Disk(8), Disk(8)
+        b1, b2 = d1.allocate(), d2.allocate()
+        blk = Block(8, data=[7, 8])
+        d1.store(b1, blk)
+        d2.write(b2, Block(8, data=[7, 8]))
+        assert d1.peek(b1).records() == d2.peek(b2).records() == [7, 8]
+        assert d1.stats.snapshot() == d2.stats.snapshot()
+        # Transferred block IS the stored block (no copy)...
+        assert d1.peek(b1, copy=False) is blk
+        # ...and a wrong-capacity transfer is rejected like write.
+        with pytest.raises(InvalidBlockError):
+            d1.store(b1, Block(16))
+
     def test_shared_stats_object(self):
         stats = IOStats()
         d1 = Disk(8, stats=stats)
