@@ -14,8 +14,11 @@ test-fast:
 	$(PY) -m pytest tests/test_batch_parity.py tests/test_em_disk.py \
 	    tests/test_em_iostats.py tests/test_buffered.py tests/test_logmethod.py -q
 
-## Perf trajectory: scalar-vs-batch throughput, recorded at the repo root.
-## Future PRs regress against BENCH_throughput.json.
+## Perf trajectory: scalar-vs-batch throughput plus the backend x shards
+## sweep (mapping/arena x 1/8 shards; I/O totals asserted backend-invariant
+## under both policies).  Rows land in BENCH_throughput.json
+## ("rows" = scalar-vs-batch reference, "config_rows" = backend/shards axes);
+## future PRs regress against it.
 bench:
 	$(PY) -m pytest benchmarks/bench_throughput.py --benchmark-only -s -q \
 	    --benchmark-json=BENCH_throughput.json

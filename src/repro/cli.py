@@ -10,7 +10,10 @@ code:
 * ``trace``     — replay a mixed workload against a chosen table.
 
 Every command accepts ``--b``, ``--m``, ``--n`` to change the model
-geometry, and prints plain aligned tables (no plotting dependencies).
+geometry, plus the system axes ``--backend`` (storage backend behind
+the disk: ``mapping`` or ``arena``; I/O counts are backend-invariant)
+and ``--shards`` (fan the dictionary out over N independent shards),
+and prints plain aligned tables (no plotting dependencies).
 """
 
 from __future__ import annotations
@@ -24,13 +27,14 @@ from .analysis.tradeoff_curves import format_rows, render_figure1
 from .baselines.btree import BTree
 from .baselines.lsm import LSMTree
 from .core.buffered import BufferedHashTable
-from .core.config import BufferedParams
+from .core.config import BufferedParams, StorageConfig
 from .core.jensen_pagh import JensenPaghTable
 from .core.logmethod import LogMethodHashTable
 from .core.tradeoff import figure1_curves
-from .em import make_context
+from .em import BACKENDS, make_context
 from .hashing.family import MULTIPLY_SHIFT
 from .tables.chaining import ChainedHashTable
+from .tables.sharded import make_sharded
 from .workloads.drivers import measure_table
 from .workloads.generators import UniformKeys
 from .workloads.trace import MixedWorkload, replay
@@ -41,9 +45,37 @@ def _add_geometry(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--m", type=int, default=512, help="words of memory")
     parser.add_argument("--n", type=int, default=6000, help="keys to insert")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="mapping",
+        help="storage backend behind the disk (never changes I/O counts)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard the dictionary over N independent routers (1 = off)",
+    )
+
+
+def _storage(args) -> StorageConfig:
+    """Validate and bundle the system axes of a CLI invocation."""
+    return StorageConfig(backend=args.backend, shards=args.shards)
 
 
 def _table_factories(args) -> dict[str, Callable]:
+    storage = _storage(args)
+    factories = _base_factories(args)
+    if storage.shards == 1:
+        return factories
+    return {
+        name: make_sharded(factory, storage.shards)
+        for name, factory in factories.items()
+    }
+
+
+def _base_factories(args) -> dict[str, Callable]:
     return {
         "chaining": lambda c: ChainedHashTable(
             c,
@@ -68,24 +100,26 @@ def _table_factories(args) -> dict[str, Callable]:
 
 
 def cmd_figure1(args) -> int:
+    storage = _storage(args)
+
     def ctx_factory():
-        return make_context(b=args.b, m=args.m, u=2**40)
+        return make_context(b=args.b, m=args.m, u=2**40, backend=storage.backend)
 
     curves = figure1_curves(args.b, args.n, args.m)
     factories = _table_factories(args)
     std = measure_table(ctx_factory, factories["chaining"], args.n, seed=args.seed)
     curves.add_measured(2.0, std.t_q, std.t_u, "standard chaining")
     for c in (0.25, 0.5, 0.75):
-        m = measure_table(
-            ctx_factory,
-            lambda ctx, c=c: BufferedHashTable(
-                ctx,
-                MULTIPLY_SHIFT.sample(ctx.u, args.seed),
-                params=BufferedParams.for_query_exponent(args.b, c),
-            ),
-            args.n,
-            seed=args.seed,
+        factory = lambda ctx, c=c: BufferedHashTable(
+            ctx,
+            MULTIPLY_SHIFT.sample(ctx.u, args.seed),
+            params=BufferedParams.for_query_exponent(args.b, c),
         )
+        # Same sharding mechanism as _table_factories: pre-wrap the
+        # factory, never pass shards= on top of a wrapped one.
+        if storage.shards > 1:
+            factory = make_sharded(factory, storage.shards)
+        m = measure_table(ctx_factory, factory, args.n, seed=args.seed)
         curves.add_measured(c, m.t_q, m.t_u, f"buffered c={c}")
     print(render_figure1(curves))
     return 0
@@ -107,8 +141,10 @@ def cmd_knuth(args) -> int:
 
 
 def cmd_baselines(args) -> int:
+    storage = _storage(args)
+
     def ctx_factory():
-        return make_context(b=args.b, m=args.m, u=2**40)
+        return make_context(b=args.b, m=args.m, u=2**40, backend=storage.backend)
 
     rows = []
     for name, factory in _table_factories(args).items():
@@ -121,9 +157,10 @@ def cmd_baselines(args) -> int:
 def cmd_audit(args) -> int:
     from .lowerbound.zones import decompose
 
+    storage = _storage(args)
     rows = []
     for name, factory in _table_factories(args).items():
-        ctx = make_context(b=args.b, m=args.m, u=2**40)
+        ctx = make_context(b=args.b, m=args.m, u=2**40, backend=storage.backend)
         table = factory(ctx)
         table.insert_many(UniformKeys(ctx.u, args.seed).take(args.n))
         z = decompose(table.layout_snapshot())
@@ -145,7 +182,7 @@ def cmd_trace(args) -> int:
     if args.table not in factories:
         print(f"unknown table {args.table!r}; choose from {sorted(factories)}")
         return 2
-    ctx = make_context(b=args.b, m=args.m, u=2**40)
+    ctx = make_context(b=args.b, m=args.m, u=2**40, backend=_storage(args).backend)
     table = factories[args.table](ctx)
     wl = MixedWorkload(
         UniformKeys(ctx.u, args.seed),

@@ -278,9 +278,9 @@ class BufferedHashTable(ExternalDictionary):
                 self.stats.hits += int(np.count_nonzero(in_mem))
                 return in_mem
             stats.reads += nprobe
-            blocks = self.ctx.disk._blocks
+            records_arr = self.ctx.disk.records_arr
             hhat_items = concat_records(
-                blocks[bkt.primary]._data for bkt in hhat
+                records_arr(bkt.primary) for bkt in hhat
             )
             found_hhat = membership(arr, hhat_items) & rest
             found_lvl = self._recent.probe_levels_batch(arr, rest & ~found_hhat)

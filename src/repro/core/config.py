@@ -8,6 +8,11 @@ parameters:
   ``β = ε b / (2 c')`` for the ``t_u = ε`` regime.
 * Theorem 1 (lower bounds): the per-case tuples ``(δ, φ, ρ, s)`` from
   Section 2's proof.
+
+It also hosts :class:`StorageConfig`, the system-level knobs that are
+orthogonal to the paper's parameters: which storage backend the disk
+runs on and how many shards the dictionary router fans out over.  The
+CLI, drivers and throughput benchmark all consume one of these.
 """
 
 from __future__ import annotations
@@ -15,7 +20,38 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..em.backends import BACKENDS
 from ..em.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """System configuration: storage backend and shard fan-out.
+
+    Attributes
+    ----------
+    backend:
+        Registry name of the block store behind every disk
+        (:data:`repro.em.backends.BACKENDS`): ``"mapping"`` or
+        ``"arena"``.  Never changes I/O accounting, only wall-clock.
+    shards:
+        Number of independent shards the dictionary router splits a
+        logical table over (1 = unsharded).
+    """
+
+    backend: str = "mapping"
+    shards: int = 1
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown storage backend {self.backend!r}; "
+                f"choose from {sorted(BACKENDS)}"
+            )
+        if self.shards <= 0:
+            raise ConfigurationError(
+                f"shard count must be positive, got {self.shards}"
+            )
 
 
 @dataclass(frozen=True)

@@ -310,7 +310,7 @@ class LogMethodHashTable(ExternalDictionary):
         stats = self.ctx.stats
         found = np.zeros(len(arr), dtype=bool)
         searching = np.flatnonzero(mask)
-        blocks = self.ctx.disk._blocks
+        records_arr = self.ctx.disk.records_arr
         for lvl in self._levels:
             if lvl is None or lvl.empty:
                 continue
@@ -318,7 +318,7 @@ class LogMethodHashTable(ExternalDictionary):
                 break
             stats.reads += int(searching.size)
             items = concat_records(
-                blocks[bkt.primary]._data for bkt in lvl.buckets
+                records_arr(bkt.primary) for bkt in lvl.buckets
             )
             hit = membership(arr[searching], items)
             found[searching[hit]] = True
@@ -332,14 +332,14 @@ class LogMethodHashTable(ExternalDictionary):
         stopping at the first hit; used to restore the pending RMW
         block after a bulk probe.
         """
-        blocks = self.ctx.disk._blocks
+        key_in = self.ctx.disk.key_in
         last: int | None = None
         for lvl in self._levels:
             if lvl is None or lvl.empty:
                 continue
             primary = lvl.buckets[hv % len(lvl.buckets)].primary
             last = primary
-            if key in blocks[primary]._data:
+            if key_in(primary, key):
                 break
         return last
 
@@ -390,8 +390,7 @@ class LogMethodHashTable(ExternalDictionary):
         lvl = self._get_level(k)
         disk = self.ctx.disk
         stats = disk.stats
-        blocks = disk._blocks
-        gen = disk._gen
+        drain = disk.drain_uncharged
         items: list[int] = []
         reads = 0
         drained = 0
@@ -404,14 +403,10 @@ class LogMethodHashTable(ExternalDictionary):
                     items.extend(got)
                     bkt.replace_all([])
                 continue
-            bid = bkt.primary
-            blk = blocks[bid]
-            data = blk._data
             reads += 1
-            if data:
-                items.extend(data)
-                blk._data = []
-                gen[bid] = gen.get(bid, 0) + 1
+            got = drain(bkt.primary)
+            if got:
+                items.extend(got)
                 drained += 1
                 last_nonempty = True
             else:

@@ -9,8 +9,17 @@ Public surface:
   the I/O complexity measure.
 * :class:`~repro.em.memory.MemoryBudget` — the ``m``-word memory.
 * :class:`~repro.em.cache.BufferPool` — LRU buffering for baselines.
+* :class:`~repro.em.backends.StorageBackend` and friends — pluggable
+  block stores behind the disk (``"mapping"`` / ``"arena"``).
 """
 
+from .backends import (
+    BACKENDS,
+    ArenaBackend,
+    MappingBackend,
+    StorageBackend,
+    make_backend,
+)
 from .block import Block
 from .cache import BufferPool, CacheStats
 from .disk import Disk
@@ -26,7 +35,12 @@ from .memory import MemoryBudget
 from .storage import EMContext, ModelParams, make_context
 
 __all__ = [
+    "ArenaBackend",
+    "BACKENDS",
     "Block",
+    "MappingBackend",
+    "StorageBackend",
+    "make_backend",
     "BufferPool",
     "CacheStats",
     "Disk",

@@ -7,20 +7,36 @@ A convenience :meth:`modify` context manager expresses the ubiquitous
 read-modify-write pattern and benefits from the footnote-2 combining in
 the I/O policy.
 
+Since the pluggable-backend refactor the disk no longer stores blocks
+itself: a :class:`~repro.em.backends.StorageBackend` does (the
+dict-of-``Block`` :class:`~repro.em.backends.MappingBackend` by
+default, or the numpy-arena :class:`~repro.em.backends.ArenaBackend`).
+The disk keeps everything *accounting*: charged I/Os, generation tags,
+loans, and the allocation id space.
+
 Two access disciplines coexist:
 
 * the **copying** API (:meth:`read` / :meth:`write`) hands back and
   stores deep copies, which keeps the model honest by construction:
   mutating memory-resident state never silently mutates the disk;
 * the **copy-light** API (:meth:`load` / :meth:`stage` / :meth:`store`)
-  loans out the stored block itself so a read-merge-write cycle moves
-  each record once instead of three times.  Honesty is preserved by
-  *generation tagging*: every committed write bumps the block's
+  loans out a handle on the stored block so a read-merge-write cycle
+  moves each record once instead of three times.  Honesty is preserved
+  by *generation tagging*: every committed write bumps the block's
   generation, a loan remembers the generation (and the freshness used
   for allocation accounting) at loan time, and :meth:`store` falls back
   to re-inspecting the stored block when the loan went stale.  Both
   disciplines charge the :class:`IOStats` identically — the parity
   suite in ``tests/test_batch_parity.py`` pins this down.
+
+A third tier, the **uncharged record-level API**
+(:meth:`records_arr`, :meth:`append_uncharged`, :meth:`drain_uncharged`,
+...), exists for the batch engine's deferred-charging fast paths
+(:func:`~repro.tables.overflow.bulk_merge_into` and friends): it
+mutates the backend directly — no :class:`Block` handle, no charge —
+and leaves the caller responsible for reproducing the scalar counter
+arithmetic in bulk.  It replaces the backend-specific dict reaching the
+fast paths used to do.
 """
 
 from __future__ import annotations
@@ -28,6 +44,9 @@ from __future__ import annotations
 import contextlib
 from typing import Callable, Iterator
 
+import numpy as np
+
+from .backends import StorageBackend, make_backend
 from .block import Block
 from .errors import ConfigurationError, InvalidBlockError
 from .iostats import IOStats
@@ -44,6 +63,14 @@ class Disk:
         Shared I/O counters; a fresh one is created when omitted.
     record_words:
         Default words-per-record for blocks allocated by this disk.
+    backend:
+        The block store: a :class:`StorageBackend` instance, a registry
+        name (``"mapping"`` / ``"arena"``), or ``None`` for the default
+        mapping backend.
+    first_id:
+        First block id this disk hands out.  Sharded dictionaries give
+        each shard's disk a strided ``first_id`` so block-id namespaces
+        stay disjoint and allocation order is per-shard deterministic.
     """
 
     def __init__(
@@ -52,6 +79,8 @@ class Disk:
         *,
         stats: IOStats | None = None,
         record_words: int = 1,
+        backend: StorageBackend | str | None = None,
+        first_id: int = 0,
     ) -> None:
         if block_size_words <= 0:
             raise ConfigurationError(f"b must be positive, got {block_size_words}")
@@ -62,12 +91,16 @@ class Disk:
         self.b = block_size_words
         self.record_words = record_words
         self.stats = stats if stats is not None else IOStats()
-        self._blocks: dict[int, Block] = {}
-        self._next_id = 0
+        if backend is None:
+            backend = "mapping"
+        if isinstance(backend, str):
+            backend = make_backend(backend, block_size_words, record_words)
+        self.backend = backend
+        self._next_id = first_id
         #: Generation counter per block id, bumped on every committed write.
         self._gen: dict[int, int] = {}
-        #: Outstanding copy-light loans: block id -> (generation, fresh).
-        self._loans: dict[int, tuple[int, bool]] = {}
+        #: Outstanding copy-light loans: id -> (generation, fresh, handle).
+        self._loans: dict[int, tuple[int, bool, Block]] = {}
 
     # -- allocation ---------------------------------------------------------
 
@@ -75,9 +108,7 @@ class Disk:
         """Reserve a fresh block id (no I/O is charged until first write)."""
         bid = self._next_id
         self._next_id += 1
-        self._blocks[bid] = Block(
-            self.b, record_words=record_words or self.record_words
-        )
+        self.backend.create(bid, record_words=record_words)
         return bid
 
     def allocate_many(self, count: int, *, record_words: int | None = None) -> list[int]:
@@ -85,23 +116,22 @@ class Disk:
 
         Equivalent to ``count`` :meth:`allocate` calls but without the
         per-call overhead: the id range is claimed once and the empty
-        blocks are built in a single dict update.
+        blocks are built in a single backend bulk-create.
         """
         if count < 0:
             raise ConfigurationError(f"count must be non-negative, got {count}")
-        rw = record_words or self.record_words
-        b = self.b
         start = self._next_id
         self._next_id = start + count
         ids = list(range(start, start + count))
-        self._blocks.update((bid, Block(b, record_words=rw)) for bid in ids)
+        self.backend.create_many(ids, record_words=record_words)
         return ids
 
     def free(self, block_id: int) -> None:
         """Release a block id; later access raises :class:`InvalidBlockError`."""
-        if block_id not in self._blocks:
-            raise InvalidBlockError(f"free of unknown block {block_id}")
-        del self._blocks[block_id]
+        try:
+            self.backend.delete(block_id)
+        except KeyError:
+            raise InvalidBlockError(f"free of unknown block {block_id}") from None
         self._gen.pop(block_id, None)
         self._loans.pop(block_id, None)
 
@@ -119,37 +149,39 @@ class Disk:
         The very first write of a freshly allocated block is recorded as
         an allocation (chargeable per policy).
         """
-        existing = self._fetch(block_id)
-        fresh = existing.empty and not existing.header
+        fresh = self._is_fresh(block_id)
         if block.capacity_words != self.b:
             raise InvalidBlockError(
                 f"block capacity {block.capacity_words} != disk b {self.b}"
             )
-        self._blocks[block_id] = block.copy()
+        self.backend.commit(block_id, block, copy=True)
         self._gen[block_id] = self._gen.get(block_id, 0) + 1
         self.stats.record_write(block_id, fresh=fresh)
 
     # -- copy-light I/O -----------------------------------------------------
 
     def load(self, block_id: int) -> Block:
-        """Charged read returning the *live* stored block (no copy).
+        """Charged read returning a loaned handle on the stored block.
 
         The caller must either treat the block as read-only or commit
         in-place mutations with :meth:`store`.  The loan records the
         block's generation and allocation-freshness so a later
         :meth:`store` charges exactly what a copying read/write round
-        trip would have.
+        trip would have.  (The mapping backend loans the live stored
+        object; the arena loans a materialised handle that ``store``
+        writes back.)
         """
         blk = self._fetch(block_id)
         self._loans[block_id] = (
             self._gen.get(block_id, 0),
             blk.empty and not blk.header,
+            blk,
         )
         self.stats.record_read(block_id)
         return blk
 
     def stage(self, block_id: int) -> Block:
-        """Uncharged fetch of the live stored block for wholesale rewrite.
+        """Uncharged fetch of a loaned block handle for wholesale rewrite.
 
         The write-only analogue of :meth:`load`: the caller overwrites
         the returned block in place and commits with :meth:`store`,
@@ -161,32 +193,36 @@ class Disk:
         self._loans[block_id] = (
             self._gen.get(block_id, 0),
             blk.empty and not blk.header,
+            blk,
         )
         return blk
 
     def store(self, block_id: int, block: Block | None = None) -> None:
         """Commit a copy-light write of ``block_id``, charging one write I/O.
 
-        With ``block=None`` the stored block was mutated in place via a
-        :meth:`load`/:meth:`stage` loan.  Passing a foreign ``block``
-        transfers ownership without copying — the caller must not mutate
-        it afterwards.  A stale loan (the block was overwritten since
-        loan time) falls back to inferring freshness from the current
-        stored contents, which is what :meth:`write` would see.
+        With ``block=None`` the loaned handle from :meth:`load` /
+        :meth:`stage` (mutated in place) is committed.  Passing a
+        foreign ``block`` transfers ownership without copying — the
+        caller must not mutate it afterwards.  A stale loan (the block
+        was overwritten since loan time) falls back to inferring
+        freshness from the current stored contents, which is what
+        :meth:`write` would see, and commits nothing of the dead
+        handle.
         """
-        existing = self._fetch(block_id)
+        if block_id not in self.backend:
+            raise InvalidBlockError(f"access to unknown block {block_id}")
         gen = self._gen.get(block_id, 0)
         loan = self._loans.pop(block_id, None)
-        if loan is not None and loan[0] == gen:
-            fresh = loan[1]
-        else:
-            fresh = existing.empty and not existing.header
-        if block is not None and block is not existing:
+        live = loan is not None and loan[0] == gen
+        fresh = loan[1] if live else self._is_fresh(block_id)
+        if block is not None:
             if block.capacity_words != self.b:
                 raise InvalidBlockError(
                     f"block capacity {block.capacity_words} != disk b {self.b}"
                 )
-            self._blocks[block_id] = block
+            self.backend.commit(block_id, block)
+        elif live:
+            self.backend.commit(block_id, loan[2])
         self._gen[block_id] = gen + 1
         self.stats.record_write(block_id, fresh=fresh)
 
@@ -194,7 +230,7 @@ class Disk:
     def modify(self, block_id: int) -> Iterator[Block]:
         """Read-modify-write ``block_id`` (one I/O under the paper policy).
 
-        Copy-light: yields the live stored block and commits the
+        Copy-light: yields the loaned block handle and commits the
         mutation on exit, charging read + write exactly as the copying
         path would (the write combines under the footnote-2 policy).
         If the body raises, the block is rolled back to its pre-entry
@@ -205,7 +241,7 @@ class Disk:
         try:
             yield blk
         except BaseException:
-            self._blocks[block_id] = backup
+            self.backend.commit(block_id, backup)
             self._loans.pop(block_id, None)
             raise
         self.store(block_id)
@@ -215,7 +251,7 @@ class Disk:
 
         Used by the lower-bound machinery to take layout snapshots; never
         by the data structures themselves.  ``copy=False`` returns the
-        live block for read-only bulk instrumentation.
+        backend's handle for read-only bulk instrumentation.
         """
         blk = self._fetch(block_id)
         return blk.copy() if copy else blk
@@ -226,12 +262,12 @@ class Disk:
         """Read a sequence of blocks, charging one I/O each.
 
         The ``n`` reads are charged in one bulk :meth:`IOStats.record_reads`
-        call; the returned blocks are the live stored blocks (read-only
-        by convention — use :meth:`read` for mutable copies).
+        call; the returned blocks are backend handles (read-only by
+        convention — use :meth:`read` for mutable copies).
         """
-        blocks = self._blocks
+        fetch = self.backend.fetch
         try:
-            out = [blocks[bid] for bid in block_ids]
+            out = [fetch(bid) for bid in block_ids]
         except KeyError as exc:
             raise InvalidBlockError(f"access to unknown block {exc.args[0]}") from None
         self.stats.record_reads(block_ids)
@@ -240,27 +276,104 @@ class Disk:
                 visit(bid, blk)
         return out
 
+    def read_records(self, block_ids: list[int]) -> list[int]:
+        """Read a sequence of blocks, returning their concatenated records.
+
+        Charges exactly like :meth:`scan` (one read per block, in one
+        bulk call) without materialising :class:`Block` handles — the
+        charged counterpart of :meth:`records` used by chain drains.
+        """
+        records = self.backend.records
+        out: list[int] = []
+        try:
+            for bid in block_ids:
+                out.extend(records(bid))
+        except KeyError as exc:
+            raise InvalidBlockError(f"access to unknown block {exc.args[0]}") from None
+        self.stats.record_reads(block_ids)
+        return out
+
+    # -- uncharged record-level API (batch-engine internals) -----------------
+    #
+    # These mutators bump the generation tag (they are committed writes
+    # as far as loan staleness is concerned) but charge nothing: callers
+    # reproduce the scalar charging arithmetic in bulk — see
+    # ``repro.tables.overflow.bulk_merge_into`` for the pattern.
+
+    @property
+    def record_capacity(self) -> int:
+        """Records per block at the disk's default record width."""
+        return self.b // self.record_words
+
+    def block_len(self, block_id: int) -> int:
+        """Number of records in ``block_id`` (uncharged)."""
+        return self.backend.length(block_id)
+
+    def records(self, block_id: int) -> list[int]:
+        """The records of ``block_id`` as Python ints (uncharged, read-only)."""
+        return self.backend.records(block_id)
+
+    def records_arr(self, block_id: int) -> np.ndarray:
+        """The records of ``block_id`` as a uint64 array (uncharged, read-only)."""
+        return self.backend.records_arr(block_id)
+
+    def key_in(self, block_id: int, key: int) -> bool:
+        """Record membership probe (uncharged)."""
+        return self.backend.contains_key(block_id, key)
+
+    def is_fresh(self, block_id: int) -> bool:
+        """Has ``block_id`` never been written (no records, no header)?"""
+        return self.backend.is_fresh(block_id)
+
+    def append_uncharged(self, block_id: int, items: list[int]) -> None:
+        """Append ``items`` to ``block_id`` without charging (bulk engine)."""
+        self.backend.append(block_id, items)
+        self._gen[block_id] = self._gen.get(block_id, 0) + 1
+
+    def replace_uncharged(self, block_id: int, items: list[int]) -> None:
+        """Overwrite ``block_id``'s records without charging (bulk engine)."""
+        self.backend.replace(block_id, items)
+        self._gen[block_id] = self._gen.get(block_id, 0) + 1
+
+    def drain_uncharged(self, block_id: int) -> list[int]:
+        """Empty ``block_id`` and return its records without charging.
+
+        The generation is bumped only when something was drained — an
+        empty block was not written, so outstanding loans stay valid,
+        matching the scalar read-then-skip behaviour.
+        """
+        out = self.backend.drain(block_id)
+        if out:
+            self._gen[block_id] = self._gen.get(block_id, 0) + 1
+        return out
+
     # -- introspection -------------------------------------------------------
 
     def block_ids(self) -> list[int]:
         """All live block ids (instrumentation; no I/O charged)."""
-        return sorted(self._blocks)
+        return self.backend.ids()
 
     def blocks_in_use(self) -> int:
         """Number of live blocks, the denominator of the load factor."""
-        return len(self._blocks)
+        return self.backend.count()
 
     def nonempty_blocks(self) -> int:
-        return sum(1 for blk in self._blocks.values() if not blk.empty)
+        return self.backend.nonempty()
 
     def words_stored(self) -> int:
-        return sum(blk.used_words for blk in self._blocks.values())
+        return self.backend.words_stored()
 
     def __contains__(self, block_id: int) -> bool:
-        return block_id in self._blocks
+        return block_id in self.backend
 
     def _fetch(self, block_id: int) -> Block:
         try:
-            return self._blocks[block_id]
+            return self.backend.fetch(block_id)
+        except KeyError:
+            raise InvalidBlockError(f"access to unknown block {block_id}") from None
+
+    def _is_fresh(self, block_id: int) -> bool:
+        try:
+            return self.backend.is_fresh(block_id)
         except KeyError:
             raise InvalidBlockError(f"access to unknown block {block_id}") from None

@@ -79,22 +79,40 @@ class ModelParams:
 
 @dataclass
 class EMContext:
-    """Shared machinery for one experiment: parameters, disk, memory, stats."""
+    """Shared machinery for one experiment: parameters, disk, memory, stats.
+
+    ``backend`` selects the block store behind the disk by registry name
+    (see :mod:`repro.em.backends`): ``"mapping"`` for the dict-of-Block
+    store, ``"arena"`` for contiguous numpy record arenas.  The choice
+    never changes I/O accounting — the backend-parity suite pins the
+    counters bit-for-bit across backends.
+    """
 
     params: ModelParams
     policy: IOPolicy = field(default_factory=lambda: PAPER_POLICY)
     record_words: int = 1
-    stats: IOStats = field(init=False)
-    disk: Disk = field(init=False)
-    memory: MemoryBudget = field(init=False)
+    backend: str = "mapping"
+    #: Stats, disk and memory are built from the parameters when left
+    #: ``None``; passing them in shares or replaces the machinery (the
+    #: sharded router injects a shared stats ledger and a per-shard
+    #: disk with a strided id namespace).
+    stats: IOStats | None = None
+    disk: Disk | None = None
+    memory: MemoryBudget | None = None
     hard_memory: bool = True
 
     def __post_init__(self) -> None:
-        self.stats = IOStats(policy=self.policy)
-        self.disk = Disk(
-            self.params.b, stats=self.stats, record_words=self.record_words
-        )
-        self.memory = MemoryBudget(self.params.m, hard=self.hard_memory)
+        if self.stats is None:
+            self.stats = IOStats(policy=self.policy)
+        if self.disk is None:
+            self.disk = Disk(
+                self.params.b,
+                stats=self.stats,
+                record_words=self.record_words,
+                backend=self.backend,
+            )
+        if self.memory is None:
+            self.memory = MemoryBudget(self.params.m, hard=self.hard_memory)
 
     # -- convenience accessors ---------------------------------------------
 
@@ -143,17 +161,20 @@ def make_context(
     *,
     policy: IOPolicy | None = None,
     record_words: int = 1,
+    backend: str = "mapping",
     hard_memory: bool = True,
 ) -> EMContext:
     """Build an :class:`EMContext` with sensible experiment defaults.
 
     Defaults model a 1 KiB block of 8-byte words (``b = 128``), a 32 KiB
-    memory (``m = 4096`` words) and 61-bit keys (a Mersenne-prime-sized
-    universe that the Carter--Wegman family likes).
+    memory (``m = 4096`` words), 61-bit keys (a Mersenne-prime-sized
+    universe that the Carter--Wegman family likes) and the mapping
+    storage backend.
     """
     return EMContext(
         params=ModelParams(b=b, m=m, u=u),
         policy=policy if policy is not None else PAPER_POLICY,
         record_words=record_words,
+        backend=backend,
         hard_memory=hard_memory,
     )

@@ -14,6 +14,7 @@ from .extendible import ExtendibleHashTable
 from .linear_hashing import LinearHashingTable
 from .linear_probing import LinearProbingHashTable
 from .overflow import ChainedBucket
+from .sharded import ShardedDictionary, make_sharded, shard_view
 
 __all__ = [
     "ExternalDictionary",
@@ -25,4 +26,7 @@ __all__ = [
     "ExtendibleHashTable",
     "LinearHashingTable",
     "LinearProbingHashTable",
+    "ShardedDictionary",
+    "make_sharded",
+    "shard_view",
 ]

@@ -127,6 +127,23 @@ class ExternalDictionary(abc.ABC):
     def memory_words(self) -> int:
         """Words of main memory the table currently occupies."""
 
+    def memory_high_water(self) -> int:
+        """Peak words charged to this table's memory budget.
+
+        The default reads the shared context budget; the sharded router
+        overrides it to aggregate its per-shard budgets.  Drivers report
+        this instead of touching ``ctx.memory`` directly.
+        """
+        return self.ctx.memory.high_water
+
+    def nonempty_disk_blocks(self) -> int:
+        """Non-empty disk blocks backing this table (load-factor denominator).
+
+        Default: the context disk's count.  The sharded router overrides
+        it to sum over its per-shard disks.
+        """
+        return self.ctx.disk.nonempty_blocks()
+
     # -- shared conveniences ----------------------------------------------------
 
     def insert_many(self, keys: Iterable[int]) -> None:

@@ -45,7 +45,10 @@ def normalize_keys(keys: Sequence[int] | np.ndarray) -> tuple[list[int], np.ndar
 
 
 def partition_by_bucket(
-    keys: Sequence[int] | np.ndarray, bucket_idx: np.ndarray
+    keys: Sequence[int] | np.ndarray,
+    bucket_idx: np.ndarray,
+    *,
+    stable: bool = False,
 ) -> list[tuple[int, list[int]]]:
     """Group ``keys`` by bucket index, ascending (deterministic but
     arbitrary order within each group — see the module docstring).
@@ -53,17 +56,24 @@ def partition_by_bucket(
     Returns ``[(bucket, items), ...]`` for non-empty buckets only, the
     bucket visit order every merge/rebuild path (scalar and batch)
     stages through.
+
+    ``stable=True`` preserves the arrival order within each group.  The
+    merge paths never need it (block-content order is not load-bearing),
+    but the sharded dictionary's router does: each shard must see its
+    keys as the exact subsequence the scalar per-key routing would feed
+    it, because *stream* order decides merge/flush boundaries.
     """
     n = len(bucket_idx)
     if n == 0:
         return []
     arr = np.asarray(keys, dtype=np.uint64)
     idx = np.asarray(bucket_idx)
-    # Plain (unstable) argsort: within-bucket order is deterministic but
-    # arbitrary, which is fine — both the scalar and batch merge paths
-    # stage through this same partition, and block-content order is
-    # never load-bearing (lookups scan whole blocks).
-    order = np.argsort(idx)
+    # Plain (unstable) argsort by default: within-bucket order is
+    # deterministic but arbitrary, which is fine — both the scalar and
+    # batch merge paths stage through this same partition, and
+    # block-content order is never load-bearing (lookups scan whole
+    # blocks).
+    order = np.argsort(idx, kind="stable") if stable else np.argsort(idx)
     sorted_idx = idx[order]
     starts = np.flatnonzero(np.r_[True, sorted_idx[1:] != sorted_idx[:-1]])
     buckets = sorted_idx[starts].tolist()
@@ -89,14 +99,15 @@ def membership(queries: np.ndarray, values: np.ndarray) -> np.ndarray:
     return sv[np.minimum(pos, sv.size - 1)] == queries
 
 
-def concat_records(datas: Iterable[Sequence[int]]) -> np.ndarray:
-    """Concatenate per-block record lists into one uint64 array.
+def concat_records(datas: Iterable[Sequence[int] | np.ndarray]) -> np.ndarray:
+    """Concatenate per-block record sequences into one uint64 array.
 
     The materialisation step of the vectorised lookup fast paths: feed
-    it the ``_data`` lists of a bucket row's primary blocks and probe
-    the result with :func:`membership`.
+    it the backend record views of a bucket row's primary blocks
+    (:meth:`repro.em.disk.Disk.records_arr`) and probe the result with
+    :func:`membership`.  Accepts lists and uint64 array views alike.
     """
-    arrays = [np.asarray(d, dtype=np.uint64) for d in datas if d]
+    arrays = [np.asarray(d, dtype=np.uint64) for d in datas if len(d)]
     if not arrays:
         return np.empty(0, dtype=np.uint64)
     return np.concatenate(arrays)

@@ -59,6 +59,10 @@ class ChainedHashTable(ExternalDictionary):
         self._buckets: list[ChainedBucket] = [
             ChainedBucket(ctx.disk) for _ in range(buckets)
         ]
+        #: Overflow blocks across all buckets, maintained incrementally
+        #: so the load-factor denominator is O(1) instead of an O(d)
+        #: sweep per insert (``check_invariants`` cross-checks it).
+        self._chain_blocks = 0
         self._charge_memory()
 
     # -- memory accounting ---------------------------------------------------
@@ -82,7 +86,9 @@ class ChainedHashTable(ExternalDictionary):
 
     def insert(self, key: int) -> None:
         bucket = self._buckets[self.bucket_of(key)]
+        chain_before = bucket.chain_length
         if bucket.insert(key):
+            self._chain_blocks += bucket.chain_length - chain_before
             self._size += 1
             self.stats.inserts += 1
             if self.max_load is not None and self.load_factor() > self.max_load:
@@ -110,13 +116,18 @@ class ChainedHashTable(ExternalDictionary):
         The per-key chain walk (and the resize predicate it may trigger)
         stays in key order, so the charged I/Os are identical to the
         scalar loop; rebuilds mid-batch are handled by re-reducing the
-        stored full-entropy hash against the new bucket count.
+        stored full-entropy hash against the new bucket count.  The
+        load-factor probe rides the incremental chain-block counter, so
+        the resize predicate is O(1) per key rather than an O(d) sweep.
         """
         key_list, arr = normalize_keys(keys)
         hv = self.h.hash_array(arr).tolist()
         buckets = self._buckets
         for key, h in zip(key_list, hv):
-            if buckets[h % len(buckets)].insert(key):
+            bucket = buckets[h % len(buckets)]
+            chain_before = bucket.chain_length
+            if bucket.insert(key):
+                self._chain_blocks += bucket.chain_length - chain_before
                 self._size += 1
                 self.stats.inserts += 1
                 if self.max_load is not None and self.load_factor() > self.max_load:
@@ -149,8 +160,9 @@ class ChainedHashTable(ExternalDictionary):
     # -- maintenance -----------------------------------------------------------------
 
     def load_factor(self) -> float:
-        """``ceil(n/b) / blocks used`` (paper footnote 1)."""
-        blocks = sum(1 + bkt.chain_length for bkt in self._buckets)
+        """``ceil(n/b) / blocks used`` (paper footnote 1), O(1) via the
+        incrementally maintained chain-block counter."""
+        blocks = len(self._buckets) + self._chain_blocks
         if blocks == 0:
             return 0.0
         return -(-self._size // self.ctx.b) / blocks
@@ -178,6 +190,9 @@ class ChainedHashTable(ExternalDictionary):
         arr = np.asarray(moved, dtype=np.uint64)
         parts = partition_by_bucket(arr, self.h.hash_array(arr) % np.uint64(new_buckets))
         bulk_fill_buckets(self._buckets, parts, self.ctx.disk)
+        # One O(d) recount per rebuild (replace_all may have grown
+        # chains for over-full groups); inserts then stay O(1).
+        self._chain_blocks = sum(bkt.chain_length for bkt in self._buckets)
 
     # -- instrumentation ----------------------------------------------------------------
 
@@ -201,6 +216,9 @@ class ChainedHashTable(ExternalDictionary):
         )
 
     def check_invariants(self) -> None:
+        assert self._chain_blocks == sum(
+            bkt.chain_length for bkt in self._buckets
+        ), "incremental chain-block counter out of sync"
         seen: set[int] = set()
         total = 0
         for idx, bkt in enumerate(self._buckets):

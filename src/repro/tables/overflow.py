@@ -124,10 +124,7 @@ class ChainedBucket:
 
     def read_all(self) -> list[int]:
         """Read every block of the chain (charged) and return all items."""
-        items: list[int] = []
-        for blk in self.disk.scan(self.block_ids):
-            items.extend(blk)
-        return items
+        return self.disk.read_records(self.block_ids)
 
     def absorb(self, incoming: list[int]) -> None:
         """Read the chain, append ``incoming``, rewrite — one RMW pass.
@@ -218,9 +215,10 @@ def bulk_merge_into(
     """
     if not parts:
         return
-    # Live-block and generation tables: module-internal fast path shared
-    # with Disk (same library, see the copy-light contract in em.disk).
-    blocks = disk._blocks
+    # Record-level backend access plus the disk's generation table:
+    # module-internal fast path shared with Disk (same library, see the
+    # uncharged record-level API in em.disk).
+    backend = disk.backend
     gen = disk._gen
     stats = disk.stats
     cap = disk.b // disk.record_words
@@ -232,14 +230,12 @@ def bulk_merge_into(
             bkt.absorb(incoming)
             continue
         bid = bkt.primary
-        blk = blocks[bid]
-        data = blk._data
-        if len(data) + len(incoming) > cap:
+        if backend.length(bid) + len(incoming) > cap:
             bkt.absorb(incoming)
             continue
-        if not data and not blk.header:
+        if backend.is_fresh(bid):
             nfresh += 1
-        blk._data = data + incoming
+        backend.append(bid, incoming)
         gen[bid] = gen.get(bid, 0) + 1
         fast += 1
     if fast:
@@ -272,7 +268,7 @@ def bulk_fill_buckets(
     """
     if not parts:
         return
-    blocks = disk._blocks
+    backend = disk.backend
     gen = disk._gen
     stats = disk.stats
     cap = disk.b // disk.record_words
@@ -283,7 +279,7 @@ def bulk_fill_buckets(
             bkt.replace_all(items)
             continue
         bid = bkt.primary
-        blocks[bid]._data = items
+        backend.replace(bid, items)
         gen[bid] = gen.get(bid, 0) + 1
         written += 1
     if written:

@@ -22,10 +22,17 @@ All drivers ride the tables' **batch APIs**
 contract guarantees I/O counts bit-identical to the scalar loops — the
 measured ``(t_u, t_q)`` numbers are unchanged, only the wall-clock to
 produce them drops (see ``benchmarks/bench_throughput.py``).
+
+Storage backends and shard counts ride along orthogonally: the context
+factory picks the backend (``make_context(backend="arena")``), and
+every driver accepts ``shards`` to wrap the table factory in a
+:class:`~repro.tables.sharded.ShardedDictionary` router — see
+``src/repro/workloads/README.md`` for the backend/shard contract.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -33,6 +40,7 @@ import numpy as np
 
 from ..em.storage import EMContext
 from ..tables.base import ExternalDictionary
+from ..tables.sharded import make_sharded
 from .generators import KeyGenerator, UniformKeys
 from .metrics import CostHistory, Summary, summarize
 
@@ -40,6 +48,13 @@ from .metrics import CostHistory, Summary, summarize
 TableFactory = Callable[[EMContext], ExternalDictionary]
 #: A context factory builds one experiment's EMContext.
 ContextFactory = Callable[[], EMContext]
+
+
+def resolve_factory(table_factory: TableFactory, shards: int) -> TableFactory:
+    """Apply the drivers' ``shards`` axis: wrap in a router when N > 1."""
+    if shards == 1:
+        return table_factory
+    return make_sharded(table_factory, shards)
 
 
 @dataclass(frozen=True)
@@ -123,27 +138,35 @@ def measure_table(
     generator: KeyGenerator | None = None,
     seed: int = 0,
     query_sample: int | None = None,
+    shards: int = 1,
 ) -> InsertQueryMeasurement:
     """End-to-end measurement: build, insert ``n`` uniform keys, query.
 
     A fresh context comes from ``context_factory`` so runs are
-    independent; the query phase's I/Os are excluded from ``t_u``.
+    independent (pass ``make_context(backend=...)`` there to choose the
+    storage backend); the query phase's I/Os are excluded from ``t_u``.
+    ``shards > 1`` routes the table through a
+    :class:`~repro.tables.sharded.ShardedDictionary`; the load factor
+    and memory peak are then aggregated over the shard disks/budgets
+    via the table's own accessors.
     """
     ctx = context_factory()
-    table = table_factory(ctx)
+    table = resolve_factory(table_factory, shards)(ctx)
     gen = generator if generator is not None else UniformKeys(ctx.u, seed)
     keys = gen.take(n)
     insert_ios, amortized = measure_insert_cost(table, keys)
     qsummary = measure_query_cost(
         table, keys, sample_size=query_sample, seed=seed + 1
     )
+    used = table.nonempty_disk_blocks()
+    load = math.ceil(n / ctx.b) / used if used else 0.0
     return InsertQueryMeasurement(
         n=n,
         insert_ios=insert_ios,
         amortized_insert=amortized,
         query_summary=qsummary,
-        load_factor=ctx.load_factor(n),
-        memory_high_water=ctx.memory.high_water,
+        load_factor=load,
+        memory_high_water=table.memory_high_water(),
     )
 
 
@@ -169,6 +192,7 @@ def trace_insert_history(
     checkpoints: int = 16,
     generator: KeyGenerator | None = None,
     seed: int = 0,
+    shards: int = 1,
 ) -> CostHistory:
     """Amortized-insert trajectory at geometric checkpoints up to ``n``.
 
@@ -176,7 +200,7 @@ def trace_insert_history(
     buffered table's round boundaries as cost spikes.
     """
     ctx = context_factory()
-    table = table_factory(ctx)
+    table = resolve_factory(table_factory, shards)(ctx)
     gen = generator if generator is not None else UniformKeys(ctx.u, seed)
     history = CostHistory()
     marks = sorted(
@@ -196,15 +220,17 @@ def compare_tables(
     n: int,
     *,
     seed: int = 0,
+    shards: int = 1,
 ) -> list[dict[str, float | int | str]]:
     """Measure several tables on the same workload size; one row each.
 
     Each table is driven through :func:`measure_table`, i.e. the batch
     insert/lookup paths — rows are I/O-identical to the scalar drivers.
+    ``shards > 1`` routes every factory through the sharded router.
     """
     rows: list[dict[str, float | int | str]] = []
     for name, factory in factories.items():
-        m = measure_table(context_factory, factory, n, seed=seed)
+        m = measure_table(context_factory, factory, n, seed=seed, shards=shards)
         row: dict[str, float | int | str] = {"table": name}
         row.update(m.row())
         rows.append(row)

@@ -14,6 +14,18 @@ batches interleave with queries mid-build.
 Two context shapes are exercised: a roomy one where all buckets stay
 single-block (the vectorised fast paths), and a cramped one (tiny
 ``b``) where overflow chains force every fallback branch.
+
+Two further axes ride on top since the pluggable-backend PR:
+
+* **backend parity** — every table, driven identically over the
+  ``mapping`` and ``arena`` backends, must produce bit-identical I/O
+  counters, layouts and memory peaks (the backend is a representation
+  choice, never an accounting one);
+* **shard sweep** — the :class:`ShardedDictionary` router over
+  N ∈ {1, 2, 8} shards obeys the full scalar/batch contract at every N
+  and backend (per-shard strided disk namespaces make shard state
+  interleaving-independent), and N = 1 is bit-transparent against the
+  bare inner table.
 """
 
 from __future__ import annotations
@@ -34,6 +46,8 @@ from repro.tables import (
     ExtendibleHashTable,
     LinearHashingTable,
     LinearProbingHashTable,
+    ShardedDictionary,
+    make_sharded,
 )
 
 N_KEYS = 1800
@@ -60,6 +74,14 @@ def _lsm(ctx):
     return LSMTree(ctx, bloom_bits_per_key=4.0)
 
 
+def _lsm_nobloom(ctx):
+    return LSMTree(ctx)
+
+
+def _sharded_buffered(ctx):
+    return ShardedDictionary(ctx, _buffered, shards=2)
+
+
 def _buffer_tree(ctx):
     return BufferTree(ctx)
 
@@ -80,13 +102,17 @@ TABLES = {
     "logmethod": (_logmethod, dict(b=32, m=512), dict(b=4, m=128)),
     "buffered": (_buffered, dict(b=32, m=512), dict(b=4, m=128)),
     "lsm": (_lsm, dict(b=32, m=512), dict(b=4, m=128)),
+    "lsm_nobloom": (_lsm_nobloom, dict(b=32, m=512), dict(b=4, m=128)),
     "buffer_tree": (_buffer_tree, dict(b=32, m=512), dict(b=8, m=64)),
-    # Fallback (base-class) batch paths, for API-contract coverage.
     "extendible": (_extendible, dict(b=32, m=512), dict(b=8, m=256)),
     "linear_hashing": (_linear_hashing, dict(b=32, m=512), dict(b=8, m=256)),
+    # The router over two buffered shards: full contract, every test.
+    "sharded_buffered": (_sharded_buffered, dict(b=32, m=512), dict(b=4, m=128)),
 }
 
 POLICIES = {"paper": PAPER_POLICY, "strict": STRICT_POLICY}
+
+BACKENDS = ("mapping", "arena")
 
 
 def _keys(seed: int, *, dupes: bool) -> tuple[list[int], list[int]]:
@@ -107,7 +133,9 @@ def _state(ctx, table):
         "memory_items": snap.memory_items,
         "blocks": snap.blocks,
         "size": len(table),
-        "high_water": ctx.memory.high_water,
+        # Table-level accessor: the context budget for plain tables, the
+        # per-shard budget aggregate for the sharded router.
+        "high_water": table.memory_high_water(),
     }
 
 
@@ -279,6 +307,97 @@ def test_numpy_scalar_lists_do_not_corrupt_state():
     _assert_same(_state(ctx_i, t_i), _state(ctx_n, t_n), "np-scalar-list")
     for items in t_n.layout_snapshot().blocks.values():
         assert all(type(x) is int for x in items)
+
+
+# -- backend parity ----------------------------------------------------------
+
+
+def _drive_batch(factory, ctx_kwargs, policy, backend, keys, probe):
+    """One batch-driven build with interleaved queries; return the state."""
+    ctx = make_context(policy=policy, backend=backend, **ctx_kwargs)
+    table = factory(ctx)
+    bounds = [0, len(keys) // 3, 2 * len(keys) // 3, len(keys)]
+    results = []
+    for lo, hi in zip(bounds, bounds[1:]):
+        table.insert_batch(keys[lo:hi])
+        results.append(table.lookup_batch(probe).tolist())
+    costs: list[int] = []
+    table.lookup_batch(probe, cost_out=costs)
+    table.check_invariants()
+    state = _state(ctx, table)
+    state["results"] = results
+    state["costs"] = costs
+    return state
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+@pytest.mark.parametrize("name", sorted(TABLES))
+def test_backend_bit_identity(name, policy_name):
+    """The arena backend must charge and lay out exactly like the mapping
+    backend — same counters, same block ids and contents, same peaks."""
+    factory, roomy, _ = TABLES[name]
+    keys, probe = _keys(seed=61, dupes=True)
+    mapping = _drive_batch(factory, roomy, POLICIES[policy_name], "mapping", keys, probe)
+    arena = _drive_batch(factory, roomy, POLICIES[policy_name], "arena", keys, probe)
+    assert mapping["results"] == arena["results"]
+    assert mapping["costs"] == arena["costs"]
+    _assert_same(mapping, arena, f"{name}/{policy_name} backends")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+@pytest.mark.parametrize("name", ["buffered", "chained", "lsm"])
+def test_cramped_backend_parity(name, policy_name, backend):
+    """Scalar-vs-batch parity on the arena backend too, in the cramped
+    shapes whose chains force the loan/absorb fallback paths."""
+    factory, _, cramped = TABLES[name]
+    keys, probe = _keys(seed=67, dupes=True)
+    keys, probe = keys[:700], probe[:300]
+    cramped = dict(cramped, hard_memory=False, backend=backend)
+    _run_pair(factory, cramped, POLICIES[policy_name], keys, probe, chunks=3)
+
+
+# -- shard sweep -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("shards", [1, 2, 8])
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+def test_sharded_scalar_batch_parity(shards, policy_name):
+    """The router's batch path is bit-identical to per-key routing at
+    every shard count (strided disk namespaces make shard state
+    independent of interleaving)."""
+    factory = make_sharded(_buffered, shards)
+    keys, probe = _keys(seed=71, dupes=True)
+    _run_pair(factory, dict(b=32, m=512), POLICIES[policy_name], keys, probe, chunks=3)
+
+
+@pytest.mark.parametrize("shards", [1, 2, 8])
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+def test_sharded_backend_bit_identity(shards, policy_name):
+    """Sharded-over-arena equals sharded-over-mapping bit for bit, at
+    every shard count and under both I/O policies."""
+    factory = make_sharded(_buffered, shards)
+    keys, probe = _keys(seed=73, dupes=True)
+    policy = POLICIES[policy_name]
+    mapping = _drive_batch(factory, dict(b=32, m=512), policy, "mapping", keys, probe)
+    arena = _drive_batch(factory, dict(b=32, m=512), policy, "arena", keys, probe)
+    assert mapping["results"] == arena["results"]
+    assert mapping["costs"] == arena["costs"]
+    _assert_same(mapping, arena, f"sharded[{shards}]/{policy_name} backends")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_single_shard_is_transparent(backend):
+    """N=1 sharding is a no-op wrapper: bit-identical to the bare table
+    — counters, block ids, snapshots, memory peaks, costs."""
+    keys, probe = _keys(seed=79, dupes=True)
+    bare = _drive_batch(_buffered, dict(b=32, m=512), PAPER_POLICY, backend, keys, probe)
+    routed = _drive_batch(
+        make_sharded(_buffered, 1), dict(b=32, m=512), PAPER_POLICY, backend, keys, probe
+    )
+    assert bare["results"] == routed["results"]
+    assert bare["costs"] == routed["costs"]
+    _assert_same(bare, routed, f"n=1 transparency/{backend}")
 
 
 def test_insert_batch_accepts_numpy_arrays():
