@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test test-fast bench bench-all clean
+.PHONY: test test-fast bench service-bench bench-all clean
 
 ## Tier-1 verification: the full unit/property suite.
 test:
@@ -22,6 +22,14 @@ test-fast:
 bench:
 	$(PY) -m pytest benchmarks/bench_throughput.py --benchmark-only -s -q \
 	    --benchmark-json=BENCH_throughput.json
+
+## Service axis only: the 70/25/5 mixed-workload closed-loop rows
+## (throughput + p50/p99 latency, serial-vs-threads determinism and the
+## sustained-rate gate).  Writes BENCH_service.json so a targeted run
+## never clobbers the full trajectory file.
+service-bench:
+	$(PY) -m pytest benchmarks/bench_throughput.py::test_service_mixed_throughput \
+	    --benchmark-only -s -q --benchmark-json=BENCH_service.json
 
 ## Every paper-artifact benchmark (slow; prints the reproduced tables).
 bench-all:

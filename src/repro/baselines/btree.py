@@ -27,11 +27,15 @@ occupancy invariant ``t − 1 ≤ keys`` holds everywhere but the root.
 from __future__ import annotations
 
 import bisect
+from typing import Sequence
+
+import numpy as np
 
 from ..em.block import Block
 from ..em.errors import ConfigurationError
 from ..em.storage import EMContext
 from ..tables.base import ExternalDictionary, LayoutSnapshot
+from ..tables.batching import normalize_keys
 
 
 class _Node:
@@ -126,6 +130,80 @@ class BTree(ExternalDictionary):
                 return False
             node = self._read(node.children[i])
 
+    def lookup_batch(
+        self,
+        keys: Sequence[int] | np.ndarray,
+        *,
+        cost_out: list[int] | None = None,
+    ) -> np.ndarray:
+        """Vectorised grouped descent: route key groups down the tree.
+
+        One ``searchsorted`` per visited node replaces the per-key
+        bisect, each node is decoded once per group (uncharged peek)
+        while every key in the group is charged the read the scalar
+        walk would make, and reads land in one bulk add.  Per-key costs
+        (depth until termination) and the pending read-modify-write
+        block are restored to the scalar walk's, so counters are
+        bit-identical to the per-key loop.
+        """
+        key_list, arr = normalize_keys(keys)
+        n = len(key_list)
+        out = np.zeros(n, dtype=bool)
+        self.stats.lookups += n
+        if n == 0:
+            return out
+        costs = np.zeros(n, dtype=np.int64)
+        peek = self.ctx.disk.peek
+        stack: list[tuple[_Node, bool, np.ndarray]] = [
+            (self._root, True, np.arange(n))
+        ]
+        while stack:
+            node, is_root, pos = stack.pop()
+            if not is_root:
+                costs[pos] += 1
+            karr = np.asarray(node.keys, dtype=np.uint64)
+            sub = arr[pos]
+            if karr.size:
+                idx = np.searchsorted(karr, sub)
+                hit = np.zeros(pos.size, dtype=bool)
+                inb = idx < karr.size
+                hit[inb] = karr[idx[inb]] == sub[inb]
+            else:
+                idx = np.zeros(pos.size, dtype=np.int64)
+                hit = np.zeros(pos.size, dtype=bool)
+            out[pos[hit]] = True
+            if node.leaf:
+                continue
+            rest = pos[~hit]
+            if rest.size == 0:
+                continue
+            child_idx = idx[~hit]
+            for j in np.unique(child_idx):
+                group = rest[child_idx == j]
+                child = _Node.from_block(peek(node.children[int(j)]))
+                stack.append((child, False, group))
+        total = int(costs.sum())
+        if total:
+            stats = self.ctx.stats
+            stats.reads += total
+            last = int(np.flatnonzero(costs > 0)[-1])
+            stats._last_read_block = self._final_probe_block(key_list[last])
+        self.stats.hits += int(np.count_nonzero(out))
+        if cost_out is not None:
+            cost_out.extend(costs.tolist())
+        return out
+
+    def _final_probe_block(self, key: int) -> int | None:
+        """The block id of ``key``'s last charged read (scalar walk)."""
+        node = self._root
+        last: int | None = None
+        while True:
+            i = bisect.bisect_left(node.keys, key)
+            if (i < len(node.keys) and node.keys[i] == key) or node.leaf:
+                return last
+            last = node.children[i]
+            node = _Node.from_block(self.ctx.disk.peek(last))
+
     # -- insert ------------------------------------------------------------
 
     def insert(self, key: int) -> None:
@@ -140,6 +218,20 @@ class BTree(ExternalDictionary):
             self._size += 1
             self.stats.inserts += 1
         self._charge_memory()
+
+    def insert_batch(self, keys: Sequence[int] | np.ndarray) -> None:
+        """Batch insert over one normalisation pass.
+
+        The preemptive-split descent is inherently sequential — every
+        insert's path depends on the splits of the one before, and the
+        contract pins the exact read-modify-write order per key — so
+        the walk stays per key (cf. the chained table's data-dependent
+        chain walks); batching amortises the key normalisation and the
+        per-call dispatch.
+        """
+        key_list, _ = normalize_keys(keys)
+        for k in key_list:
+            self.insert(k)
 
     def _insert_nonfull(self, node: _Node, bid: int | None, key: int) -> bool:
         """Insert into the subtree at ``node`` (known non-full).

@@ -448,6 +448,75 @@ class BufferTree(ExternalDictionary):
         self.stats.hits += int(np.count_nonzero(out))
         return out
 
+    def delete(self, key: int) -> bool:
+        """Immediate delete: purge every copy of ``key`` on its path.
+
+        Duplicate inserts collapse only at merge time, so a copy of
+        ``key`` may live in the root buffer, in any buffer block along
+        the root-to-leaf path, *and* in the leaf — a correct immediate
+        delete must remove them all (one survivor would resurrect the
+        key).  Each buffer block on the path is read (charged, like the
+        miss walk of :meth:`lookup` but without early exit) and written
+        back only when a copy was removed; the provisional ``_size`` is
+        decremented per physical copy, mirroring the per-copy increment
+        of :meth:`insert`.
+        """
+        removed = self._root_buffer.count(key)
+        if removed:
+            self._root_buffer = [x for x in self._root_buffer if x != key]
+        disk = self.ctx.disk
+        node = self._root
+        while isinstance(node, _Internal):
+            for bid in node.buffer_blocks:
+                blk = disk.read(bid)
+                dropped = 0
+                while blk.remove(key):
+                    dropped += 1
+                if dropped:
+                    disk.write(bid, blk)
+                    node.buffer_size -= dropped
+                    removed += dropped
+            node = node.children[bisect.bisect_right(node.seps, key)]
+        if node.size:
+            blk = disk.read(node.bid)
+            if blk.remove(key):  # leaves are merged-deduped: one copy max
+                disk.write(node.bid, blk)
+                node.size -= 1
+                removed += 1
+        if removed == 0:
+            return False
+        self._size -= removed
+        self.stats.deletes += 1
+        self._charge_memory()
+        return True
+
+    def delete_batch(
+        self,
+        keys: "Sequence[int] | np.ndarray",
+        *,
+        cost_out: list[int] | None = None,
+    ) -> np.ndarray:
+        """Per-key deletes over one normalisation pass.
+
+        Unlike lookups, deletes rewrite the shared buffer blocks along
+        their paths, so grouping keys per node would merge read-modify-
+        write cycles the scalar loop charges separately — the walk stays
+        per key to honour the I/O-equivalence contract (cf. the chained
+        table's data-dependent chain walks).
+        """
+        key_list, _ = normalize_keys(keys)
+        n = len(key_list)
+        out = np.empty(n, dtype=bool)
+        stats = self.ctx.stats
+        for i in range(n):
+            if cost_out is None:
+                out[i] = self.delete(key_list[i])
+            else:
+                before = stats.reads + stats.writes
+                out[i] = self.delete(key_list[i])
+                cost_out.append(stats.reads + stats.writes - before)
+        return out
+
     def _final_probe_block(self, key: int) -> int | None:
         """The block id of ``key``'s last charged probe (scalar walk)."""
         key_in = self.ctx.disk.key_in

@@ -336,6 +336,60 @@ class LSMTree(ExternalDictionary):
         self._charge_memory()
         return True
 
+    def delete_batch(
+        self,
+        keys: Sequence[int] | np.ndarray,
+        *,
+        cost_out: list[int] | None = None,
+    ) -> np.ndarray:
+        """Bulk tombstone deletes: one level-membership screen per batch.
+
+        The scalar path's only non-O(1) work is the per-key
+        ``_in_levels_free`` fence probe; for batches that are not tiny
+        relative to the table it is replaced by one vectorised
+        membership scan over the (delete-invariant) run contents.  No
+        branch charges I/O, so bit-identity reduces to replicating the
+        scalar set bookkeeping and the per-tombstone memory charges in
+        key order — which the loop below does verbatim.
+        """
+        key_list, arr = normalize_keys(keys)
+        n = len(key_list)
+        out = np.empty(n, dtype=bool)
+        if n == 0:
+            return out
+        in_levels: list[bool] | None = None
+        if n >= 256 and 24 * n >= self._size:
+            stored = concat_records(
+                self.ctx.disk.records_arr(bid)
+                for run in self._levels
+                if run is not None and run.size > 0
+                for bid in run.block_ids
+            )
+            in_levels = membership(arr, stored).tolist()
+        memtable = self._memtable
+        tombstones = self._tombstones
+        removed = 0
+        for i in range(n):
+            key = key_list[i]
+            if key in memtable:
+                memtable.discard(key)
+                out[i] = True
+                removed += 1
+            elif key in tombstones or not (
+                in_levels[i] if in_levels is not None else self._in_levels_free(key)
+            ):
+                out[i] = False
+            else:
+                tombstones.add(key)
+                out[i] = True
+                removed += 1
+                self._charge_memory()
+        self._size -= removed
+        self.stats.deletes += removed
+        if cost_out is not None:
+            cost_out.extend([0] * n)
+        return out
+
     def lookup(self, key: int) -> bool:
         """Memtable, then each level newest-first: ≤ 1 I/O per level
         (0 when a Bloom filter rejects)."""

@@ -8,6 +8,8 @@ code:
 * ``baselines`` — run the one-workload structure comparison.
 * ``audit``     — zone-decompose and certify the built-in tables.
 * ``trace``     — replay a mixed workload against a chosen table.
+* ``serve``     — drive the dictionary service with a closed-loop
+  client over a mixed request stream (throughput + latency percentiles).
 
 Every command accepts ``--b``, ``--m``, ``--n`` to change the model
 geometry, plus the system axes ``--backend`` (storage backend behind
@@ -196,6 +198,40 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .service import ClosedLoopClient, DictionaryService, EXECUTORS
+    from .workloads.trace import BulkMixedWorkload
+
+    factories = _base_factories(args)
+    if args.table not in factories:
+        print(f"unknown table {args.table!r}; choose from {sorted(factories)}")
+        return 2
+    ctx = make_context(b=args.b, m=args.m, u=2**40, backend=_storage(args).backend)
+    wl = BulkMixedWorkload(
+        UniformKeys(ctx.u, args.seed),
+        mix=tuple(args.mix),
+        seed=args.seed + 1,
+        chunk=args.window,  # chunk-aligned windows maximise epoch sizes
+    )
+    kinds, keys = wl.take_arrays(args.n)
+    with DictionaryService(
+        ctx,
+        factories[args.table],
+        shards=args.shards,
+        executor=args.executor,
+        epoch_ops=args.epoch_ops,
+    ) as svc:
+        report = ClosedLoopClient(svc, window=args.window).drive(kinds, keys)
+        print(format_rows([dict(report.row(), executor=args.executor,
+                                shards=args.shards, backend=args.backend)]))
+        io = svc.io_snapshot()
+        print(f"\ncluster I/O: {io.reads + io.writes} "
+              f"(reads={io.reads} writes={io.writes} combined={io.combined}), "
+              f"memory peak {svc.memory_high_water()} words over "
+              f"{svc.shards} shard machines")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -231,6 +267,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="op-mix weights (insert, hit-lookup, miss-lookup, delete)",
     )
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "serve", help="closed-loop mixed-op run through the dictionary service"
+    )
+    _add_geometry(p)
+    p.add_argument("--table", default="buffered")
+    p.add_argument(
+        "--mix",
+        type=float,
+        nargs=4,
+        default=[0.25, 0.60, 0.10, 0.05],
+        metavar=("INS", "HIT", "MISS", "DEL"),
+        help="op-mix weights (insert, hit-lookup, miss-lookup, delete)",
+    )
+    p.add_argument(
+        "--executor",
+        choices=["serial", "threads"],
+        default="serial",
+        help="shard executor (accounting is executor-invariant)",
+    )
+    p.add_argument("--epoch-ops", type=int, default=8192,
+                   help="max ops coalesced into one epoch")
+    p.add_argument("--window", type=int, default=8192,
+                   help="closed-loop client window (requests per round trip)")
+    p.set_defaults(func=cmd_serve)
     return parser
 
 

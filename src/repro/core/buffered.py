@@ -79,7 +79,9 @@ class BufferedHashTable(ExternalDictionary):
         #: before Ĥ is first built ("dump them in a hash table Ĥ on disk").
         #: Leaves headroom for the O(1) addressing words and the inner
         #: log-method table's own O(1) residency so the total stays ≤ m.
-        self._bootstrap: list[int] = []
+        #: Insertion-ordered (dict keys): O(1) membership/delete for
+        #: the batch paths while _finish_bootstrap sees list order.
+        self._bootstrap: dict[int, None] = {}
         self._bootstrap_capacity = max(1, ctx.m - 16)
         self._bootstrapping = True
 
@@ -152,7 +154,7 @@ class BufferedHashTable(ExternalDictionary):
         self.stats.inserts += 1
 
         if self._bootstrapping:
-            self._bootstrap.append(key)
+            self._bootstrap[key] = None
             if len(self._bootstrap) >= self._bootstrap_capacity:
                 self._finish_bootstrap()
             self._charge_memory()
@@ -187,6 +189,42 @@ class BufferedHashTable(ExternalDictionary):
             self.stats.hits += 1
         return found
 
+    def delete(self, key: int) -> bool:
+        """Remove ``key``, probing in lookup order: memory (free) → ``Ĥ``
+        (one read-modify-write) → log-method levels."""
+        return self._delete_hashed(key, None)
+
+    def _delete_hashed(self, key: int, hv: int | None) -> bool:
+        if self._bootstrapping:
+            if key in self._bootstrap:
+                del self._bootstrap[key]
+                self._shadow.discard(key)
+                self._size -= 1
+                self.stats.deletes += 1
+                self._charge_memory()
+                return True
+            return False
+        if self._recent.in_memory(key):
+            self._recent.delete(key)  # the free H_0 branch
+            self._shadow.discard(key)
+            self._size -= 1
+            self.stats.deletes += 1
+            return True
+        if hv is None:
+            hv = int(self.h.hash(key))
+        if self._hhat[hv % len(self._hhat)].delete(key):
+            self._hhat_count -= 1
+            self._shadow.discard(key)
+            self._size -= 1
+            self.stats.deletes += 1
+            return True
+        if self._recent.delete_disk_only(key, hashed=hv):
+            self._shadow.discard(key)
+            self._size -= 1
+            self.stats.deletes += 1
+            return True
+        return False
+
     # -- batch operations ---------------------------------------------------------------
 
     def insert_batch(self, keys: Sequence[int] | np.ndarray) -> None:
@@ -207,7 +245,7 @@ class BufferedHashTable(ExternalDictionary):
         while pos < n:
             if self._bootstrapping:
                 seg = fresh[pos : pos + self._bootstrap_capacity - len(self._bootstrap)]
-                self._bootstrap.extend(seg)
+                self._bootstrap.update(dict.fromkeys(seg))
                 pos += len(seg)
                 self._size += len(seg)
                 self.stats.inserts += len(seg)
@@ -318,13 +356,48 @@ class BufferedHashTable(ExternalDictionary):
         self.stats.hits += hits
         return out
 
+    def delete_batch(
+        self,
+        keys: Sequence[int] | np.ndarray,
+        *,
+        cost_out: list[int] | None = None,
+    ) -> np.ndarray:
+        """Vectorised-hash deletes in lookup probe order.
+
+        Deletion never triggers merges or round boundaries, so one
+        ``hash_array`` call serves the batch and the per-key probe
+        (memory → ``Ĥ`` → levels) charges exactly like
+        :meth:`delete`.
+        """
+        key_list, arr = normalize_keys(keys)
+        n = len(key_list)
+        out = np.empty(n, dtype=bool)
+        if n == 0:
+            return out
+        if self._bootstrapping:
+            for i in range(n):
+                out[i] = self._delete_hashed(key_list[i], None)
+                if cost_out is not None:
+                    cost_out.append(0)
+            return out
+        hv = self.h.hash_array(arr).tolist()
+        stats = self.ctx.stats
+        for i in range(n):
+            if cost_out is None:
+                out[i] = self._delete_hashed(key_list[i], hv[i])
+            else:
+                before = stats.reads + stats.writes
+                out[i] = self._delete_hashed(key_list[i], hv[i])
+                cost_out.append(stats.reads + stats.writes - before)
+        return out
+
     # -- bootstrap / rounds -------------------------------------------------------------
 
     def _finish_bootstrap(self) -> None:
         """Build ``Ĥ`` from the first ``m`` items and enter round 1."""
         self._bootstrapping = False
-        items = self._bootstrap
-        self._bootstrap = []
+        items = list(self._bootstrap)
+        self._bootstrap = {}
         self._round = 1
         self._rebuild_hhat(items, capacity=self._round_capacity())
         self._until_merge = self._chunk_size()

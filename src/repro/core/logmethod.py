@@ -152,6 +152,38 @@ class LogMethodHashTable(ExternalDictionary):
             return True
         return False
 
+    def delete(self, key: int) -> bool:
+        """Remove ``key``: free from ``H_0``, else one chain walk per
+        non-empty level until found (charged like a lookup)."""
+        if key in self._h0:
+            self._h0.discard(key)
+            self._shadow.discard(key)
+            self._size -= 1
+            self.stats.deletes += 1
+            self._charge_memory()
+            return True
+        return self.delete_disk_only(key)
+
+    def delete_disk_only(self, key: int, *, hashed: int | None = None) -> bool:
+        """Remove ``key`` from whichever disk level holds it.
+
+        The deletion counterpart of :meth:`lookup_disk_only`: probes the
+        key's bucket in each non-empty level (charged chain walk) and
+        rewrites the block it is found in.  ``hashed`` lets batch
+        callers pass a precomputed ``h(key)``.
+        """
+        hv = int(self.h.hash(key)) if hashed is None else hashed
+        for lvl in self._levels:
+            if lvl is None or lvl.empty:
+                continue
+            if lvl.buckets[hv % len(lvl.buckets)].delete(key):
+                lvl.count -= 1
+                self._shadow.discard(key)
+                self._size -= 1
+                self.stats.deletes += 1
+                return True
+        return False
+
     def in_memory(self, key: int) -> bool:
         """Is ``key`` resident in the memory table ``H_0`` (no I/O)?
 
@@ -275,6 +307,46 @@ class LogMethodHashTable(ExternalDictionary):
             hits += found
         self.stats.lookups += n
         self.stats.hits += hits
+        return out
+
+    def delete_batch(
+        self,
+        keys: Sequence[int] | np.ndarray,
+        *,
+        cost_out: list[int] | None = None,
+    ) -> np.ndarray:
+        """Vectorised-hash deletes; the level walk stays per key.
+
+        Deletion never migrates levels, so one ``hash_array`` call
+        serves the whole batch; ``H_0`` hits stay free, disk hits charge
+        exactly the scalar chain walk.
+        """
+        key_list, arr = normalize_keys(keys)
+        n = len(key_list)
+        out = np.empty(n, dtype=bool)
+        if n == 0:
+            return out
+        hv = self.h.hash_array(arr).tolist()
+        h0 = self._h0
+        stats = self.ctx.stats
+        for i in range(n):
+            key = key_list[i]
+            if key in h0:
+                h0.discard(key)
+                self._shadow.discard(key)
+                self._size -= 1
+                self.stats.deletes += 1
+                self._charge_memory()
+                out[i] = True
+                if cost_out is not None:
+                    cost_out.append(0)
+                continue
+            if cost_out is None:
+                out[i] = self.delete_disk_only(key, hashed=hv[i])
+            else:
+                before = stats.reads + stats.writes
+                out[i] = self.delete_disk_only(key, hashed=hv[i])
+                cost_out.append(stats.reads + stats.writes - before)
         return out
 
     # -- vectorised probing helpers ---------------------------------------------------

@@ -133,6 +133,15 @@ class StorageBackend(abc.ABC):
         """Return the stored records and clear them (header untouched)."""
 
     @abc.abstractmethod
+    def remove_key(self, block_id: int, key: int) -> bool:
+        """Remove the first occurrence of ``key``; report whether present.
+
+        Order-preserving, exactly like :meth:`Block.remove` on the
+        stored contents — the deletion fast paths rely on the resulting
+        record order matching the whole-block path bit for bit.
+        """
+
+    @abc.abstractmethod
     def is_fresh(self, block_id: int) -> bool:
         """Never written: no records and no header (allocation accounting)."""
 
@@ -217,6 +226,9 @@ class MappingBackend(StorageBackend):
         out = blk._data
         blk._data = []
         return out
+
+    def remove_key(self, block_id: int, key: int) -> bool:
+        return self._blocks[block_id].remove(key)
 
     def is_fresh(self, block_id: int) -> bool:
         blk = self._blocks[block_id]
@@ -399,6 +411,24 @@ class ArenaBackend(StorageBackend):
         out = self._data[slot, : self._len[slot]].tolist()
         self._len[slot] = 0
         return out
+
+    def remove_key(self, block_id: int, key: int) -> bool:
+        odd = self._odd.get(block_id)
+        if odd is not None:
+            return odd.remove(key)
+        slot = self._slot[block_id]
+        n = int(self._len[slot])
+        if n == 0:
+            return False
+        row = self._data[slot]
+        eq = row[:n] == key
+        i = int(eq.argmax())
+        if not eq[i]:
+            return False
+        # Shift the tail left one record: same order Block.remove leaves.
+        row[i : n - 1] = row[i + 1 : n]
+        self._len[slot] = n - 1
+        return True
 
     def is_fresh(self, block_id: int) -> bool:
         odd = self._odd.get(block_id)

@@ -276,6 +276,45 @@ class Disk:
                 visit(bid, blk)
         return out
 
+    def probe_record(self, block_id: int, key: int) -> bool:
+        """Charged single-block membership probe (one read I/O).
+
+        Equivalent to ``key in read(bid, copy=False)`` — one charged
+        read, pending-RMW block updated — but answered by the backend's
+        record-level :meth:`~StorageBackend.contains_key`, so the arena
+        backend does not materialise a :class:`Block` per probe.  The
+        per-key probe loops (bucket walks of lookups and deletes) use
+        this for chain-free buckets.
+        """
+        backend = self.backend
+        if block_id not in backend:
+            raise InvalidBlockError(f"access to unknown block {block_id}")
+        self.stats.record_read(block_id)
+        return backend.contains_key(block_id, key)
+
+    def remove_record(self, block_id: int, key: int) -> bool:
+        """Charged single-block delete probe: read + RMW write on a hit.
+
+        Equivalent, counter for counter, to the copy-light cycle
+        ``blk = load(bid); hit = blk.remove(key); store(bid) if hit``
+        — one charged read, then (only on a hit) one charged write that
+        combines under the footnote-2 policy — but executed through the
+        backend's record-level :meth:`~StorageBackend.remove_key`, so
+        no :class:`Block` handle is materialised.  The deletion batch
+        paths use this for the ubiquitous chain-free bucket probe.
+        """
+        backend = self.backend
+        if block_id not in backend:
+            raise InvalidBlockError(f"access to unknown block {block_id}")
+        fresh = backend.is_fresh(block_id)
+        self.stats.record_read(block_id)
+        if not backend.remove_key(block_id, key):
+            return False
+        self._gen[block_id] = self._gen.get(block_id, 0) + 1
+        self._loans.pop(block_id, None)
+        self.stats.record_write(block_id, fresh=fresh)
+        return True
+
     def read_records(self, block_ids: list[int]) -> list[int]:
         """Read a sequence of blocks, returning their concatenated records.
 

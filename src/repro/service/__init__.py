@@ -1,0 +1,43 @@
+"""The dictionary service layer: mixed-op epochs over concurrent shards.
+
+Turns the reproduction's dictionaries into a servable system:
+
+* :mod:`repro.service.epochs` — conflict-aware coalescing of interleaved
+  insert/lookup/delete streams into vectorized epochs;
+* :mod:`repro.service.service` — :class:`DictionaryService`, executing
+  each epoch over N private shard machines through a pluggable
+  ``serial`` / ``threads`` executor, with per-shard I/O ledgers merged
+  at epoch close (parallel runs bit-identical to serial);
+* :mod:`repro.service.client` — a closed-loop client simulator
+  reporting throughput and per-op latency percentiles.
+
+See ``src/repro/service/README.md`` for the epoch/executor guarantees.
+"""
+
+from .client import ClientReport, ClosedLoopClient
+from .epochs import Epoch, build_epochs
+from .service import (
+    EXECUTORS,
+    DictionaryService,
+    EpochReport,
+    SerialExecutor,
+    ServiceRun,
+    ThreadExecutor,
+    make_executor,
+    service_shard_view,
+)
+
+__all__ = [
+    "ClientReport",
+    "ClosedLoopClient",
+    "Epoch",
+    "build_epochs",
+    "DictionaryService",
+    "EpochReport",
+    "ServiceRun",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "EXECUTORS",
+    "make_executor",
+    "service_shard_view",
+]

@@ -1,0 +1,151 @@
+"""Closed-loop client simulator: throughput and per-op latency.
+
+A **closed-loop** client keeps a fixed amount of work in flight: it
+submits one window of requests, waits for the service to finish it, then
+submits the next.  That is the standard load model for batch-amortized
+systems — offered load adapts to service speed instead of queueing
+unboundedly — and it gives a well-defined per-op latency:
+
+    an op completes when the epoch it was coalesced into finishes, so
+    its latency is the time from its window's submission to its epoch's
+    completion (requests queue behind the earlier epochs of their own
+    window).
+
+Ops in the same epoch share a latency, so percentiles are computed
+exactly from ``(latency, op_count)`` pairs — no per-op float array at
+n = 10⁶.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..workloads.trace import OP_DELETE, OP_INSERT, OP_LOOKUP
+from .service import DictionaryService
+
+__all__ = ["ClientReport", "ClosedLoopClient"]
+
+
+def _weighted_percentile(pairs: list[tuple[float, int]], q: float) -> float:
+    """Exact percentile of a sample given as ``(value, multiplicity)``."""
+    if not pairs:
+        return 0.0
+    pairs = sorted(pairs)
+    total = sum(count for _, count in pairs)
+    threshold = q / 100.0 * total
+    cum = 0
+    for value, count in pairs:
+        cum += count
+        if cum >= threshold:
+            return value
+    return pairs[-1][0]
+
+
+@dataclass(frozen=True)
+class ClientReport:
+    """One closed-loop run: throughput plus the latency distribution."""
+
+    ops: int
+    inserts: int
+    lookups: int
+    deletes: int
+    epochs: int
+    seconds: float
+    io_total: int
+    p50_ms: float
+    p99_ms: float
+    max_ms: float
+
+    @property
+    def kops(self) -> float:
+        """Throughput in thousands of ops per second."""
+        return self.ops / self.seconds / 1e3 if self.seconds else 0.0
+
+    @property
+    def amortized_io(self) -> float:
+        return self.io_total / self.ops if self.ops else 0.0
+
+    def row(self) -> dict[str, float | int]:
+        return {
+            "ops": self.ops,
+            "epochs": self.epochs,
+            "kops": round(self.kops, 1),
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "io/op": round(self.amortized_io, 4),
+        }
+
+
+class ClosedLoopClient:
+    """Drives a :class:`DictionaryService` one request window at a time.
+
+    Parameters
+    ----------
+    service:
+        The service under load.
+    window:
+        Requests submitted per round trip.  Latency includes the
+        queueing delay behind earlier epochs of the same window, so a
+        larger window trades latency for throughput — the classic
+        closed-loop knob.
+    """
+
+    def __init__(self, service: DictionaryService, *, window: int = 65536) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.service = service
+        self.window = window
+
+    def drive(
+        self,
+        kinds: np.ndarray,
+        keys: np.ndarray,
+        *,
+        check: bool = False,
+    ) -> ClientReport:
+        """Feed the whole stream through the service, window by window.
+
+        With ``check``, assert the stream's semantic expectations: every
+        delete must remove a key (the bulk generator only emits deletes
+        of live keys), which catches routing or batching bugs in situ.
+        """
+        kinds = np.ascontiguousarray(kinds, dtype=np.uint8)
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        n = len(kinds)
+        latencies: list[tuple[float, int]] = []
+        epochs = 0
+        io_total = 0
+        t_start = time.perf_counter()
+        for lo in range(0, n, self.window):
+            hi = min(lo + self.window, n)
+            run = self.service.run(kinds[lo:hi], keys[lo:hi])
+            elapsed = 0.0
+            for report in run.epochs:
+                elapsed += report.seconds
+                latencies.append((elapsed, report.ops))
+            epochs += len(run.epochs)
+            io_total += run.io_total
+            if check:
+                dmask = kinds[lo:hi] == OP_DELETE
+                if not bool(run.delete_removed[dmask].all()):
+                    # Not an assert: the in-situ bug detector must stay
+                    # armed under ``python -O`` too.
+                    raise RuntimeError(
+                        "closed-loop check: a delete targeted a non-live key"
+                    )
+        seconds = time.perf_counter() - t_start
+        return ClientReport(
+            ops=n,
+            inserts=int(np.count_nonzero(kinds == OP_INSERT)),
+            lookups=int(np.count_nonzero(kinds == OP_LOOKUP)),
+            deletes=int(np.count_nonzero(kinds == OP_DELETE)),
+            epochs=epochs,
+            seconds=seconds,
+            io_total=io_total,
+            p50_ms=_weighted_percentile(latencies, 50) * 1e3,
+            p99_ms=_weighted_percentile(latencies, 99) * 1e3,
+            max_ms=(max(v for v, _ in latencies) * 1e3) if latencies else 0.0,
+        )

@@ -1,0 +1,463 @@
+"""The concurrent dictionary service: epochs × shards × executors.
+
+:class:`DictionaryService` is the layer that turns the reproduction's
+dictionaries into a *servable system*: it accepts interleaved
+insert/lookup/delete request streams, coalesces them into conflict-free
+**epochs** (:mod:`repro.service.epochs`), partitions each epoch by shard
+with the same vectorized stable shard-of-key routing the
+:class:`~repro.tables.sharded.ShardedDictionary` uses, and executes the
+per-shard work through a pluggable **executor**:
+
+* ``"serial"`` — shards run one after another, ascending shard order;
+* ``"threads"`` — shards run concurrently on a thread pool.
+
+Concurrency is safe *and deterministic* because the service gives every
+shard a fully private machine: its own strided-namespace
+:class:`~repro.em.disk.Disk`, its own ``m``-word
+:class:`~repro.em.memory.MemoryBudget`, **and its own
+:class:`~repro.em.iostats.IOStats` ledger** (unlike the sharded router,
+whose shards share the parent ledger and would interleave
+nondeterministically under threads).  A shard's charges depend only on
+its own program-order request subsequence, so per-shard ledgers, disks,
+layouts and memory peaks are bit-identical whatever the executor; at
+epoch close the service folds each shard's ledger delta into a cluster
+:attr:`~DictionaryService.ledger` in ascending shard order — pure
+counter addition, so the merged totals are executor-invariant too.  The
+determinism suite (``tests/test_service.py``) pins serial-vs-threads
+equality of all of it.
+
+Within an epoch each shard executes its batches in the fixed kind order
+**insert → delete → lookup**; the epoch builder guarantees no key
+crosses kinds inside an epoch, so every per-key observable matches
+program order (see :mod:`repro.service.epochs`).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..em.errors import ConfigurationError
+from ..em.iostats import IOSnapshot, IOStats
+from ..em.storage import EMContext
+from ..hashing.base import HashFunction
+from ..hashing.family import MULTIPLY_SHIFT
+from ..tables.base import ExternalDictionary, LayoutSnapshot, TableStats
+from ..tables.batching import partition_positions
+from ..tables.sharded import ShardFactory, _ROUTER_SEED, shard_view
+from ..workloads.trace import Op, encode_ops
+from .epochs import Epoch, build_epochs
+
+__all__ = [
+    "DictionaryService",
+    "EpochReport",
+    "ServiceRun",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "EXECUTORS",
+    "make_executor",
+    "service_shard_view",
+]
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+
+class SerialExecutor:
+    """Runs shard thunks one after another, ascending shard order."""
+
+    name = "serial"
+
+    def run(self, thunks: Sequence[Callable[[], object]]) -> list[object]:
+        return [thunk() for thunk in thunks]
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class ThreadExecutor:
+    """Runs shard thunks concurrently on a persistent thread pool.
+
+    Shards own disjoint state (disk, memory budget, I/O ledger), so the
+    only cross-thread contention is the interpreter lock — results and
+    accounting are bit-identical to :class:`SerialExecutor` by
+    construction, which the determinism tests assert.
+    """
+
+    name = "threads"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+
+    def run(self, thunks: Sequence[Callable[[], object]]) -> list[object]:
+        if len(thunks) <= 1:
+            return [thunk() for thunk in thunks]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="repro-shard"
+            )
+        futures = [self._pool.submit(thunk) for thunk in thunks]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+#: Executor registry, keyed by the name the CLI/bench ``--executor``
+#: flags use.
+EXECUTORS = {"serial": SerialExecutor, "threads": ThreadExecutor}
+
+
+def make_executor(kind: str, **kwargs):
+    """Build an executor by registry name."""
+    try:
+        cls = EXECUTORS[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown executor {kind!r}; choose from {sorted(EXECUTORS)}"
+        ) from None
+    return cls(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Per-shard machines
+# ---------------------------------------------------------------------------
+
+
+def service_shard_view(parent: EMContext, index: int) -> EMContext:
+    """A fully private per-shard context: own disk, memory, *and* ledger.
+
+    :func:`repro.tables.sharded.shard_view` with a private
+    :class:`IOStats` swapped in — concurrent shards must never race on
+    a shared counter object, and the pending read-modify-write block
+    (which decides footnote-2 combining) is meaningful only against the
+    shard's own disk.  Ledgers merge at epoch close.
+    """
+    return shard_view(parent, index, stats=IOStats(policy=parent.policy))
+
+
+# ---------------------------------------------------------------------------
+# Run reports
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EpochReport:
+    """Bookkeeping for one executed epoch."""
+
+    start: int
+    stop: int
+    inserts: int
+    lookups: int
+    deletes: int
+    seconds: float
+    io: int
+
+    @property
+    def ops(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class ServiceRun:
+    """Results of one :meth:`DictionaryService.run` call.
+
+    ``lookup_found`` / ``delete_removed`` are stream-aligned boolean
+    arrays: entry ``i`` is meaningful when op ``i`` was of the matching
+    kind (and ``False`` elsewhere).
+    """
+
+    ops: int
+    lookup_found: np.ndarray
+    delete_removed: np.ndarray
+    epochs: list[EpochReport]
+
+    @property
+    def seconds(self) -> float:
+        return sum(e.seconds for e in self.epochs)
+
+    @property
+    def io_total(self) -> int:
+        return sum(e.io for e in self.epochs)
+
+
+# ---------------------------------------------------------------------------
+# The service
+# ---------------------------------------------------------------------------
+
+
+class DictionaryService:
+    """A dictionary served over N shard machines by a pluggable executor.
+
+    Parameters
+    ----------
+    ctx:
+        Template context: supplies the ``(b, m, u)`` geometry, I/O
+        policy, record width and storage backend every shard machine is
+        built with (its disk/stats/memory are *not* shared — each shard
+        gets a :func:`service_shard_view`).
+    shard_factory:
+        Builds the inner table from a per-shard context (the drivers'
+        ``TableFactory`` shape).
+    shards:
+        Number of shard machines ``N >= 1``.
+    executor:
+        ``"serial"``, ``"threads"``, or an executor instance.
+    epoch_ops:
+        Maximum ops coalesced into one epoch (bounds staging memory).
+    router:
+        Shard-of-key hash; the fixed-seed multiply-shift default matches
+        the sharded router's, so a service over N shards stores keys
+        exactly where a :class:`ShardedDictionary` over N shards would.
+    """
+
+    def __init__(
+        self,
+        ctx: EMContext,
+        shard_factory: ShardFactory,
+        *,
+        shards: int = 1,
+        executor: str | SerialExecutor | ThreadExecutor = "serial",
+        epoch_ops: int = 8192,
+        router: HashFunction | None = None,
+        name: str | None = None,
+    ) -> None:
+        if shards <= 0:
+            raise ConfigurationError(f"shard count must be positive, got {shards}")
+        if epoch_ops <= 0:
+            raise ConfigurationError(f"epoch_ops must be positive, got {epoch_ops}")
+        self.ctx = ctx
+        self.shards = shards
+        self.epoch_ops = epoch_ops
+        self.name = name or f"DictionaryService[{shards}]"
+        self.router = (
+            router
+            if router is not None
+            else MULTIPLY_SHIFT.sample(ctx.u, seed=_ROUTER_SEED)
+        )
+        self.executor = make_executor(executor) if isinstance(executor, str) else executor
+        self._contexts = [service_shard_view(ctx, i) for i in range(shards)]
+        #: Cluster I/O ledger: per-shard deltas folded in at epoch close,
+        #: ascending shard order.
+        self.ledger = IOStats(policy=ctx.policy)
+        self._marks: list[IOSnapshot] = [
+            sub.stats.snapshot() for sub in self._contexts
+        ]
+        self._tables: list[ExternalDictionary] = [
+            shard_factory(sub) for sub in self._contexts
+        ]
+        # Fold any I/O a factory charged at construction into the ledger
+        # right away, so io_snapshot() always equals the sum of
+        # shard_io_snapshots() (construction belongs to no epoch).
+        self._merge_ledgers()
+        self.epochs_run = 0
+
+    # -- request execution --------------------------------------------------
+
+    def run(
+        self,
+        kinds: np.ndarray | Sequence[int],
+        keys: np.ndarray | Sequence[int],
+    ) -> ServiceRun:
+        """Execute an encoded request stream; results in arrival order."""
+        kinds = np.ascontiguousarray(kinds, dtype=np.uint8)
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        n = len(kinds)
+        lookup_found = np.zeros(n, dtype=bool)
+        delete_removed = np.zeros(n, dtype=bool)
+        reports: list[EpochReport] = []
+        for epoch in build_epochs(kinds, keys, max_ops=self.epoch_ops):
+            reports.append(self._run_epoch(epoch, lookup_found, delete_removed))
+        return ServiceRun(
+            ops=n,
+            lookup_found=lookup_found,
+            delete_removed=delete_removed,
+            epochs=reports,
+        )
+
+    def run_trace(self, ops: Iterable[Op]) -> ServiceRun:
+        """Convenience: execute a :class:`~repro.workloads.trace.Op` list."""
+        kinds, keys = encode_ops(ops)
+        return self.run(kinds, keys)
+
+    def _run_epoch(
+        self,
+        epoch: Epoch,
+        lookup_found: np.ndarray,
+        delete_removed: np.ndarray,
+    ) -> EpochReport:
+        t0 = time.perf_counter()
+        ins_groups = self._kind_groups(epoch.insert_keys, None)
+        del_groups = self._kind_groups(epoch.delete_keys, epoch.delete_pos)
+        look_groups = self._kind_groups(epoch.lookup_keys, epoch.lookup_pos)
+        work: dict[int, list] = {}
+        for shard, arr, _ in ins_groups:
+            work.setdefault(shard, [None, None, None, None, None])[0] = arr
+        for shard, arr, pos in del_groups:
+            slot = work.setdefault(shard, [None, None, None, None, None])
+            slot[1], slot[2] = arr, pos
+        for shard, arr, pos in look_groups:
+            slot = work.setdefault(shard, [None, None, None, None, None])
+            slot[3], slot[4] = arr, pos
+        shard_order = sorted(work)
+        thunks = [
+            self._shard_thunk(self._tables[shard], work[shard])
+            for shard in shard_order
+        ]
+        results = self.executor.run(thunks)
+        for shard, (del_res, look_res) in zip(shard_order, results):
+            _, _, dpos, _, lpos = work[shard]
+            if del_res is not None:
+                delete_removed[dpos] = del_res
+            if look_res is not None:
+                lookup_found[lpos] = look_res
+        io = self._merge_ledgers()
+        self.epochs_run += 1
+        return EpochReport(
+            start=epoch.start,
+            stop=epoch.stop,
+            inserts=len(epoch.insert_keys),
+            lookups=len(epoch.lookup_keys),
+            deletes=len(epoch.delete_keys),
+            seconds=time.perf_counter() - t0,
+            io=io,
+        )
+
+    @staticmethod
+    def _shard_thunk(table: ExternalDictionary, slot: list) -> Callable[[], tuple]:
+        ins, dels, _, looks, _ = slot
+
+        def thunk() -> tuple:
+            # Fixed kind order per shard: insert -> delete -> lookup.
+            # The epoch builder guarantees no key crosses kinds inside
+            # an epoch, so this order is observationally program order.
+            if ins is not None and len(ins):
+                table.insert_batch(ins)
+            del_res = table.delete_batch(dels) if dels is not None else None
+            look_res = table.lookup_batch(looks) if looks is not None else None
+            return del_res, look_res
+
+        return thunk
+
+    def _kind_groups(
+        self, arr: np.ndarray, pos: np.ndarray | None
+    ) -> list[tuple[int, np.ndarray, np.ndarray | None]]:
+        """Stable shard split of one kind's keys (+ stream positions)."""
+        if len(arr) == 0:
+            return []
+        if self.shards == 1:
+            return [(0, arr, pos)]
+        idx = (self.router.hash_array(arr) % np.uint64(self.shards)).astype(np.int64)
+        return [
+            (shard, arr[group], pos[group] if pos is not None else None)
+            for shard, group in partition_positions(idx)
+        ]
+
+    def _merge_ledgers(self) -> int:
+        """Fold per-shard ledger deltas into the cluster ledger.
+
+        Ascending shard order; returns the epoch's charged I/O total.
+        """
+        total = 0
+        for i, sub in enumerate(self._contexts):
+            delta = sub.stats.delta_since(self._marks[i])
+            self._marks[i] = sub.stats.snapshot()
+            self.ledger.absorb(delta)
+            total += delta.total
+        return total
+
+    # -- aggregation / instrumentation --------------------------------------
+
+    @property
+    def stats(self) -> TableStats:
+        """Aggregated operation counters over all shard tables."""
+        agg = TableStats()
+        for table in self._tables:
+            s = table.stats
+            agg.inserts += s.inserts
+            agg.lookups += s.lookups
+            agg.hits += s.hits
+            agg.deletes += s.deletes
+            agg.rebuilds += s.rebuilds
+            agg.merges += s.merges
+            for k, v in s.extra.items():
+                agg.extra[k] = agg.extra.get(k, 0) + v
+        return agg
+
+    def io_snapshot(self) -> IOSnapshot:
+        """Cluster I/O counters (merged ledger) as of the last epoch close."""
+        return self.ledger.snapshot()
+
+    def shard_io_snapshots(self) -> list[IOSnapshot]:
+        """Per-shard ledger snapshots, shard order (determinism tests)."""
+        return [sub.stats.snapshot() for sub in self._contexts]
+
+    def shard_tables(self) -> list[ExternalDictionary]:
+        return list(self._tables)
+
+    def shard_sizes(self) -> list[int]:
+        return [len(table) for table in self._tables]
+
+    def memory_high_water(self) -> int:
+        """Sum of per-shard memory peaks (each machine peaks on its own)."""
+        return sum(sub.memory.high_water for sub in self._contexts)
+
+    def layout_snapshot(self) -> LayoutSnapshot:
+        """Union of the (disjoint) shard snapshots, routed by shard."""
+        snaps = [table.layout_snapshot() for table in self._tables]
+        blocks: dict[int, tuple[int, ...]] = {}
+        memory_items: frozenset[int] = frozenset()
+        for snap in snaps:
+            blocks.update(snap.blocks)
+            memory_items |= snap.memory_items
+        addresses = [snap.address for snap in snaps]
+        router = self.router
+        shards = self.shards
+
+        def address(key: int) -> int | None:
+            if shards == 1:
+                return addresses[0](key)
+            return addresses[int(router.hash(key)) % shards](key)
+
+        return LayoutSnapshot(
+            memory_items=memory_items,
+            blocks=blocks,
+            address=address,
+            address_description_words=sum(
+                snap.address_description_words for snap in snaps
+            )
+            + 2,
+        )
+
+    def __len__(self) -> int:
+        return sum(len(table) for table in self._tables)
+
+    def check_invariants(self) -> None:
+        for table in self._tables:
+            table.check_invariants()
+
+    def close(self) -> None:
+        """Release executor resources (idempotent)."""
+        self.executor.close()
+
+    def __enter__(self) -> "DictionaryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{self.name}(shards={self.shards}, "
+            f"executor={getattr(self.executor, 'name', self.executor)!r}, "
+            f"epoch_ops={self.epoch_ops}, n={len(self)})"
+        )

@@ -18,7 +18,8 @@ in :mod:`repro.lowerbound.zones` consumes these snapshots.
 
 Every table also exposes a **batch operation engine**
 (:meth:`ExternalDictionary.insert_batch` /
-:meth:`ExternalDictionary.lookup_batch`): same semantics and — by
+:meth:`ExternalDictionary.lookup_batch` /
+:meth:`ExternalDictionary.delete_batch`): same semantics and — by
 contract — bit-identical I/O accounting as the scalar loop, but with
 the data-parallel work (hashing, bucket partitioning, bookkeeping)
 amortised over the whole batch.  See ``src/repro/workloads/README.md``
@@ -159,6 +160,10 @@ class ExternalDictionary(abc.ABC):
         """Scalar reference path: one :meth:`lookup` call per key."""
         return [self.lookup(k) for k in keys]
 
+    def delete_many(self, keys: Iterable[int]) -> list[bool]:
+        """Scalar reference path: one :meth:`delete` call per key."""
+        return [self.delete(k) for k in keys]
+
     # -- batch operations --------------------------------------------------------
 
     def insert_batch(self, keys: Sequence[int] | np.ndarray) -> None:
@@ -199,6 +204,36 @@ class ExternalDictionary(abc.ABC):
         for i, k in enumerate(keys):
             before = stats.reads + stats.writes
             out[i] = self.lookup(int(k))
+            cost_out.append(stats.reads + stats.writes - before)
+        return out
+
+    def delete_batch(
+        self,
+        keys: Sequence[int] | np.ndarray,
+        *,
+        cost_out: list[int] | None = None,
+    ) -> np.ndarray:
+        """Remove a batch of keys, in order; returns which were present.
+
+        Completes the batch-op triad: subject to the same I/O-equivalence
+        contract as :meth:`insert_batch` — bit-identical
+        :class:`~repro.em.iostats.IOStats`, :class:`TableStats`, layouts
+        and memory peaks as ``delete_many(keys)`` under every policy.
+        The base implementation *is* the scalar loop; tables override it
+        with vectorised staging (one ``hash_array`` call, precomputed
+        membership screens) that honours the contract.  ``cost_out``
+        collects the charged I/O total of each individual delete.
+        """
+        n = len(keys)
+        out = np.empty(n, dtype=bool)
+        if cost_out is None:
+            for i, k in enumerate(keys):
+                out[i] = self.delete(int(k))
+            return out
+        stats = self.ctx.stats
+        for i, k in enumerate(keys):
+            before = stats.reads + stats.writes
+            out[i] = self.delete(int(k))
             cost_out.append(stats.reads + stats.writes - before)
         return out
 

@@ -86,6 +86,31 @@ def partition_by_bucket(
     ]
 
 
+def partition_positions(bucket_idx: np.ndarray) -> list[tuple[int, np.ndarray]]:
+    """Stable positions-by-bucket grouping: ``[(bucket, positions), ...]``.
+
+    The lookup/delete-side counterpart of
+    :func:`partition_by_bucket(..., stable=True)`: ascending bucket
+    order, each ``positions`` array preserving arrival order, so
+    callers can slice their own key/result arrays per group and scatter
+    per-key outputs back to arrival order.  Used by the sharded router
+    and the service layer's per-epoch shard split.
+    """
+    n = len(bucket_idx)
+    if n == 0:
+        return []
+    idx = np.asarray(bucket_idx)
+    order = np.argsort(idx, kind="stable")
+    sorted_idx = idx[order]
+    starts = np.flatnonzero(np.r_[True, sorted_idx[1:] != sorted_idx[:-1]])
+    bounds = starts.tolist()
+    bounds.append(n)
+    return [
+        (int(sorted_idx[bounds[j]]), order[bounds[j] : bounds[j + 1]])
+        for j in range(len(starts))
+    ]
+
+
 def membership(queries: np.ndarray, values: np.ndarray) -> np.ndarray:
     """Vectorised set membership: is each query present in ``values``?
 

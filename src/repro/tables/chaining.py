@@ -157,6 +157,38 @@ class ChainedHashTable(ExternalDictionary):
         self.stats.hits += hits
         return out
 
+    def delete_batch(
+        self,
+        keys: Sequence[int] | np.ndarray,
+        *,
+        cost_out: list[int] | None = None,
+    ) -> np.ndarray:
+        """Vectorised-hash deletes; the per-key chain walk stays in key
+        order (deletes never resize, so the bucket count is fixed for
+        the whole batch)."""
+        key_list, arr = normalize_keys(keys)
+        n = len(key_list)
+        out = np.empty(n, dtype=bool)
+        if n == 0:
+            return out
+        d = len(self._buckets)
+        idx = (self.h.hash_array(arr) % np.uint64(d)).tolist()
+        buckets = self._buckets
+        stats = self.ctx.stats
+        removed = 0
+        for i in range(n):
+            if cost_out is None:
+                hit = buckets[idx[i]].delete(key_list[i])
+            else:
+                before = stats.reads + stats.writes
+                hit = buckets[idx[i]].delete(key_list[i])
+                cost_out.append(stats.reads + stats.writes - before)
+            out[i] = hit
+            removed += hit
+        self._size -= removed
+        self.stats.deletes += removed
+        return out
+
     # -- maintenance -----------------------------------------------------------------
 
     def load_factor(self) -> float:

@@ -159,6 +159,46 @@ class LinearHashingTable(ExternalDictionary):
         self.stats.hits += hits
         return out
 
+    def delete_batch(
+        self,
+        keys: Sequence[int] | np.ndarray,
+        *,
+        cost_out: list[int] | None = None,
+    ) -> np.ndarray:
+        """Vectorised-hash deletes; the chain walk stays per key.
+
+        Deletion never moves the split pointer or level, so Litwin
+        addressing is computed for the whole batch up front.
+        """
+        key_list, arr = normalize_keys(keys)
+        n = len(key_list)
+        out = np.empty(n, dtype=bool)
+        if n == 0:
+            return out
+        hv = self.h.hash_array(arr)
+        narrow = np.uint64(self.n0 << self.level)
+        wide = np.uint64(self.n0 << (self.level + 1))
+        idx = (hv % narrow).astype(np.int64)
+        before_ptr = idx < self.split_ptr
+        if before_ptr.any():
+            idx[before_ptr] = (hv[before_ptr] % wide).astype(np.int64)
+        idx = idx.tolist()
+        buckets = self._buckets
+        stats = self.ctx.stats
+        removed = 0
+        for i in range(n):
+            if cost_out is None:
+                hit = buckets[idx[i]].delete(key_list[i])
+            else:
+                before = stats.reads + stats.writes
+                hit = buckets[idx[i]].delete(key_list[i])
+                cost_out.append(stats.reads + stats.writes - before)
+            out[i] = hit
+            removed += hit
+        self._size -= removed
+        self.stats.deletes += removed
+        return out
+
     # -- splitting --------------------------------------------------------------------------
 
     def _split_next(self) -> None:

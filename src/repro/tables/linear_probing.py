@@ -163,7 +163,11 @@ class LinearProbingHashTable(ExternalDictionary):
         return out
 
     def delete(self, key: int) -> bool:
-        home = self.home_of(key)
+        return self._delete_at(key, self.home_of(key))
+
+    def _delete_at(self, key: int, home: int) -> bool:
+        """Probe forward from ``home`` and remove ``key`` (backward-shift
+        repair on a hit)."""
         for idx in self._probe_sequence(home):
             bid = self._block_ids[idx]
             blk = self.ctx.disk.read(bid)
@@ -176,6 +180,31 @@ class LinearProbingHashTable(ExternalDictionary):
             if not blk.header.get("overflowed"):
                 return False
         return False
+
+    def delete_batch(
+        self,
+        keys: Sequence[int] | np.ndarray,
+        *,
+        cost_out: list[int] | None = None,
+    ) -> np.ndarray:
+        """Vectorised-hash deletes; probe walks and compaction stay in
+        key order (the block count never changes on deletion)."""
+        key_list, arr = normalize_keys(keys)
+        n = len(key_list)
+        out = np.empty(n, dtype=bool)
+        if n == 0:
+            return out
+        d = len(self._block_ids)
+        homes = (self.h.hash_array(arr) % np.uint64(d)).tolist()
+        stats = self.ctx.stats
+        for i in range(n):
+            if cost_out is None:
+                out[i] = self._delete_at(key_list[i], homes[i])
+            else:
+                before = stats.reads + stats.writes
+                out[i] = self._delete_at(key_list[i], homes[i])
+                cost_out.append(stats.reads + stats.writes - before)
+        return out
 
     def _compact_after(self, gap_idx: int) -> None:
         """Backward-shift repair: refill the gap from overflow runs.

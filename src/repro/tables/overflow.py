@@ -72,6 +72,9 @@ class ChainedBucket:
         stops one block after the hit or at the chain's end).
         """
         disk = self.disk
+        if not self._chain:
+            # Chain-free bucket: one charged read, served record-level.
+            return disk.probe_record(self.primary, key), 1
         ios = 0
         for bid in self.block_ids:
             blk = disk.read(bid, copy=False)
@@ -113,6 +116,11 @@ class ChainedBucket:
     def delete(self, key: int) -> bool:
         """Remove ``key`` from whichever chain block holds it."""
         disk = self.disk
+        if not self._chain:
+            # Chain-free bucket: the probe is a single read (+ combining
+            # write on a hit), served record-level without materialising
+            # a Block — same charge, same resulting record order.
+            return disk.remove_record(self.primary, key)
         for bid in self.block_ids:
             blk = disk.load(bid)
             if blk.remove(key):

@@ -44,11 +44,12 @@ import numpy as np
 
 from ..em.disk import Disk
 from ..em.errors import ConfigurationError
+from ..em.iostats import IOStats
 from ..em.storage import EMContext
 from ..hashing.base import HashFunction
 from ..hashing.family import MULTIPLY_SHIFT
 from .base import ExternalDictionary, LayoutSnapshot, TableStats
-from .batching import normalize_keys, partition_by_bucket
+from .batching import normalize_keys, partition_by_bucket, partition_positions
 
 __all__ = ["SHARD_ID_STRIDE", "ShardedDictionary", "make_sharded", "shard_view"]
 
@@ -66,24 +67,30 @@ _ROUTER_SEED = 0x51A2D
 ShardFactory = Callable[[EMContext], ExternalDictionary]
 
 
-def shard_view(parent: EMContext, index: int) -> EMContext:
+def shard_view(
+    parent: EMContext, index: int, *, stats: IOStats | None = None
+) -> EMContext:
     """A per-shard context: own disk and memory, shared I/O ledger.
 
     Models one machine of an ``N``-machine cluster: full ``(b, m, u)``
     geometry, a private disk whose ids start at ``index · 2^48`` (a
     disjoint namespace per shard), a private ``m``-word memory budget,
     and the parent's :class:`IOStats` so the cluster's I/O total
-    accumulates in one place.
+    accumulates in one place.  Passing ``stats`` swaps in a different
+    ledger — the service layer gives each shard machine a private one so
+    concurrent shards never race on a shared counter object.
     """
+    if stats is None:
+        stats = parent.stats
     return EMContext(
         params=parent.params,
         policy=parent.policy,
         record_words=parent.record_words,
         backend=parent.backend,
-        stats=parent.stats,
+        stats=stats,
         disk=Disk(
             parent.params.b,
-            stats=parent.stats,
+            stats=stats,
             record_words=parent.record_words,
             backend=parent.backend,
             first_id=index * SHARD_ID_STRIDE,
@@ -153,21 +160,11 @@ class ShardedDictionary(ExternalDictionary):
         """Stable shard partition returning original positions per group.
 
         ``[(shard, positions), ...]`` in ascending shard order, each
-        ``positions`` preserving arrival order.  The lookup-side variant
-        of ``partition_by_bucket(..., stable=True)`` (which inserts
-        stage through): it keeps the index structure needed to scatter
-        per-key results and costs back to arrival order.
+        ``positions`` preserving arrival order — the index structure
+        needed to scatter per-key results and costs back to arrival
+        order (see :func:`~repro.tables.batching.partition_positions`).
         """
-        idx = self._shard_idx(arr)
-        order = np.argsort(idx, kind="stable")
-        sorted_idx = idx[order]
-        starts = np.flatnonzero(np.r_[True, sorted_idx[1:] != sorted_idx[:-1]])
-        bounds = starts.tolist()
-        bounds.append(len(order))
-        return [
-            (int(sorted_idx[bounds[j]]), order[bounds[j] : bounds[j + 1]])
-            for j in range(len(starts))
-        ]
+        return partition_positions(self._shard_idx(arr))
 
     # -- scalar operations --------------------------------------------------
 
@@ -178,7 +175,10 @@ class ShardedDictionary(ExternalDictionary):
         return self._shards[self.shard_of(key)].lookup(key)
 
     def delete(self, key: int) -> bool:
-        return self._shards[self.shard_of(key)].delete(key)
+        # Routed through the batch helper so the router has no remaining
+        # per-key-only operation (one-element batches are I/O-identical
+        # by the tables' batch contract).
+        return bool(self.delete_batch([key])[0])
 
     # -- batch operations -----------------------------------------------------
 
@@ -227,6 +227,41 @@ class ShardedDictionary(ExternalDictionary):
         for shard, pos in groups:
             sub_costs: list[int] | None = [] if cost_out is not None else None
             out[pos] = self._shards[shard].lookup_batch(arr[pos], cost_out=sub_costs)
+            if costs is not None:
+                costs[pos] = sub_costs
+        if cost_out is not None:
+            cost_out.extend(costs.tolist())
+        return out
+
+    def delete_batch(
+        self,
+        keys: Sequence[int] | np.ndarray,
+        *,
+        cost_out: list[int] | None = None,
+    ) -> np.ndarray:
+        """Shard-grouped deletes, scattered back to arrival order.
+
+        A delete mutates only its own shard, and each shard receives
+        exactly the subsequence of ``keys`` the scalar loop would feed
+        it (stable groups), so results and per-shard charges are
+        bit-identical to per-key routing; the group holding the final
+        key runs last so the pending read-modify-write block ends where
+        the scalar walk leaves it.
+        """
+        if self.shards == 1:
+            return self._shards[0].delete_batch(keys, cost_out=cost_out)
+        key_list, arr = normalize_keys(keys)
+        n = len(key_list)
+        out = np.zeros(n, dtype=bool)
+        if n == 0:
+            return out
+        groups = self._groups(arr)
+        last_shard = int(self._shard_idx(arr[-1:])[0])
+        groups.sort(key=lambda g: (g[0] == last_shard, g[0]))
+        costs = np.zeros(n, dtype=np.int64) if cost_out is not None else None
+        for shard, pos in groups:
+            sub_costs: list[int] | None = [] if cost_out is not None else None
+            out[pos] = self._shards[shard].delete_batch(arr[pos], cost_out=sub_costs)
             if costs is not None:
                 costs[pos] = sub_costs
         if cost_out is not None:

@@ -7,6 +7,10 @@ and ``t_q``.  Real deployments interleave; this module provides
 * :class:`MixedWorkload` — a seeded generator of interleaved
   insert / successful-lookup / unsuccessful-lookup / delete operations
   with configurable mix ratios,
+* :class:`BulkMixedWorkload` — the vectorised sibling emitting
+  ``(kinds, keys)`` arrays (the service layer's wire format; see
+  :data:`OP_INSERT` / :data:`OP_LOOKUP` / :data:`OP_DELETE` and
+  :func:`encode_ops`),
 * :func:`replay` — drive any :class:`ExternalDictionary` with a trace,
   returning per-operation-type I/O cost summaries,
 * :func:`save_trace` / :func:`load_trace` — a one-op-per-line text
@@ -32,6 +36,23 @@ LOOKUP_MISS = "n"
 DELETE = "d"
 
 _KINDS = (INSERT, LOOKUP_HIT, LOOKUP_MISS, DELETE)
+
+#: Integer op codes for array-encoded traces — the service layer's wire
+#: format (one ``uint8`` per op; hit- and miss-lookups collapse to one
+#: LOOKUP code, the distinction only matters to generators).
+OP_INSERT, OP_LOOKUP, OP_DELETE = 0, 1, 2
+
+_OP_CODE = {INSERT: OP_INSERT, LOOKUP_HIT: OP_LOOKUP, LOOKUP_MISS: OP_LOOKUP, DELETE: OP_DELETE}
+
+
+def encode_ops(ops: Iterable[Op]) -> tuple[np.ndarray, np.ndarray]:
+    """Encode a trace as ``(kinds, keys)`` arrays for the service layer."""
+    ops = list(ops)
+    kinds = np.fromiter(
+        (_OP_CODE[op.kind] for op in ops), dtype=np.uint8, count=len(ops)
+    )
+    keys = np.fromiter((op.key for op in ops), dtype=np.uint64, count=len(ops))
+    return kinds, keys
 
 
 @dataclass(frozen=True)
@@ -105,6 +126,108 @@ class MixedWorkload:
 
     def take(self, count: int) -> list[Op]:
         return list(self.ops(count))
+
+    @property
+    def live_keys(self) -> int:
+        return len(self._live)
+
+
+class BulkMixedWorkload:
+    """Vectorised mixed-op trace generation in ``(kinds, keys)`` arrays.
+
+    The array-native sibling of :class:`MixedWorkload`, built for the
+    service layer's closed-loop runs at n = 10⁶ and beyond, where a
+    per-op Python loop would dominate the measurement.  Op kinds are
+    drawn i.i.d. from ``mix`` a chunk at a time; within a chunk
+
+    * **inserts** and **miss-lookups** consume fresh keys from the
+      generator (one bulk ``take``),
+    * **deletes** target *distinct* keys live at chunk start (so every
+      delete genuinely removes something),
+    * **hit-lookups** target keys live at chunk start minus the chunk's
+      delete victims (so every hit genuinely hits, whatever order the
+      chunk executes in),
+    * while nothing is live, hit-lookups and deletes fall back to
+      inserts — same rule as :class:`MixedWorkload`.
+
+    Keys inserted in a chunk become eligible targets from the *next*
+    chunk on; this keeps each chunk's ops key-disjoint across kinds,
+    which the service's conflict-aware epoch coalescing rewards with
+    maximal epochs.  Deterministic given (generator seed, ``seed``).
+    """
+
+    def __init__(
+        self,
+        generator: KeyGenerator,
+        *,
+        mix: tuple[float, float, float, float] = (0.5, 0.4, 0.05, 0.05),
+        seed: int = 0,
+        chunk: int = 4096,
+    ) -> None:
+        if len(mix) != 4 or any(w < 0 for w in mix) or sum(mix) <= 0:
+            raise ValueError(f"mix must be 4 non-negative weights, got {mix}")
+        if chunk <= 0:
+            raise ValueError(f"chunk must be positive, got {chunk}")
+        self.generator = generator
+        self.weights = np.asarray(mix, dtype=float) / sum(mix)
+        self.chunk = chunk
+        self._rng = np.random.default_rng(seed)
+        self._live: list[int] = []
+
+    def take_arrays(self, count: int) -> tuple[np.ndarray, np.ndarray]:
+        """The next ``count`` ops as ``(kinds uint8, keys uint64)``."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        kinds_parts: list[np.ndarray] = []
+        keys_parts: list[np.ndarray] = []
+        remaining = count
+        while remaining > 0:
+            kinds, keys = self._chunk_ops(min(self.chunk, remaining))
+            kinds_parts.append(kinds)
+            keys_parts.append(keys)
+            remaining -= len(kinds)
+        if not kinds_parts:
+            return np.empty(0, dtype=np.uint8), np.empty(0, dtype=np.uint64)
+        return np.concatenate(kinds_parts), np.concatenate(keys_parts)
+
+    def _chunk_ops(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        rng = self._rng
+        draws = rng.choice(4, p=self.weights, size=n)
+        pool = self._live
+        if not pool:
+            draws[(draws == 1) | (draws == 3)] = 0
+        del_pos = np.flatnonzero(draws == 3)
+        if del_pos.size > len(pool):
+            # Not enough distinct live keys: the excess falls back.
+            draws[del_pos[len(pool):]] = 0
+            del_pos = del_pos[: len(pool)]
+        victims: list[int] = []
+        if del_pos.size:
+            vic_idx = rng.choice(len(pool), size=del_pos.size, replace=False)
+            for i in sorted((int(j) for j in vic_idx), reverse=True):
+                victims.append(pool[i])
+                pool[i] = pool[-1]
+                pool.pop()
+        hit_pos = np.flatnonzero(draws == 1)
+        if hit_pos.size and not pool:
+            draws[hit_pos] = 0
+            hit_pos = hit_pos[:0]
+        ins_pos = np.flatnonzero(draws == 0)
+        miss_pos = np.flatnonzero(draws == 2)
+        keys = np.zeros(n, dtype=np.uint64)
+        fresh = self.generator.take(int(ins_pos.size + miss_pos.size))
+        keys[ins_pos] = fresh[: ins_pos.size]
+        keys[miss_pos] = fresh[ins_pos.size :]
+        if hit_pos.size:
+            pool_arr = np.asarray(pool, dtype=np.uint64)
+            keys[hit_pos] = pool_arr[rng.integers(0, len(pool), size=hit_pos.size)]
+        if del_pos.size:
+            keys[del_pos] = np.asarray(victims, dtype=np.uint64)
+        kinds = np.where(
+            draws == 0, OP_INSERT, np.where(draws == 3, OP_DELETE, OP_LOOKUP)
+        ).astype(np.uint8)
+        pool.extend(fresh[: ins_pos.size])
+        return kinds, keys
 
     @property
     def live_keys(self) -> int:

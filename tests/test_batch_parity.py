@@ -1,7 +1,7 @@
 """Batch vs. scalar parity: the I/O-equivalence contract, enforced.
 
-``insert_batch`` / ``lookup_batch`` promise **bit-identical** I/O
-accounting to the scalar per-key loops: the same
+``insert_batch`` / ``lookup_batch`` / ``delete_batch`` promise
+**bit-identical** I/O accounting to the scalar per-key loops: the same
 :class:`~repro.em.iostats.IOStats` counters (reads, writes, combined
 read-modify-writes, allocations), the same
 :class:`~repro.tables.base.TableStats`, the same
@@ -35,6 +35,7 @@ import random
 import numpy as np
 import pytest
 
+from repro.baselines.btree import BTree
 from repro.baselines.buffer_tree import BufferTree
 from repro.baselines.lsm import LSMTree
 from repro.core.buffered import BufferedHashTable
@@ -86,6 +87,10 @@ def _buffer_tree(ctx):
     return BufferTree(ctx)
 
 
+def _btree(ctx):
+    return BTree(ctx)
+
+
 def _extendible(ctx):
     return ExtendibleHashTable(ctx, MULTIPLY_SHIFT.sample(ctx.u, seed=7))
 
@@ -104,6 +109,7 @@ TABLES = {
     "lsm": (_lsm, dict(b=32, m=512), dict(b=4, m=128)),
     "lsm_nobloom": (_lsm_nobloom, dict(b=32, m=512), dict(b=4, m=128)),
     "buffer_tree": (_buffer_tree, dict(b=32, m=512), dict(b=8, m=64)),
+    "btree": (_btree, dict(b=32, m=512), dict(b=8, m=256)),
     "extendible": (_extendible, dict(b=32, m=512), dict(b=8, m=256)),
     "linear_hashing": (_linear_hashing, dict(b=32, m=512), dict(b=8, m=256)),
     # The router over two buffered shards: full contract, every test.
@@ -174,6 +180,14 @@ def _run_pair(factory, ctx_kwargs, policy, keys, probe, *, chunks: int):
         r_b = table_b.lookup_batch(probe)
         assert r_s == r_b.tolist(), "lookup results diverge mid-build"
         assert isinstance(r_b, np.ndarray) and r_b.dtype == bool
+        # Deletes ride the same interleaving: a thin slice of this
+        # chunk's keys (some doubly listed in dupe streams — the second
+        # delete must miss) plus guaranteed misses, scalar vs batch.
+        victims = chunk[1::7] + [10**13 + lo, 10**13 + hi]
+        d_s = table_s.delete_many(victims)
+        d_b = table_b.delete_batch(victims)
+        assert d_s == d_b.tolist(), "delete results diverge mid-build"
+        assert isinstance(d_b, np.ndarray) and d_b.dtype == bool
     _assert_same(_state(ctx_s, table_s), _state(ctx_b, table_b), "final")
     table_s.check_invariants()
     table_b.check_invariants()
@@ -243,6 +257,38 @@ def test_cost_out_matches_snapshot_deltas(name):
         expected_costs.append(ctx2.stats.delta_since(before).total)
     assert costs == expected_costs
     assert found.tolist() == expected_found
+
+
+@pytest.mark.parametrize("name", sorted(TABLES))
+def test_delete_cost_out_matches_snapshot_deltas(name):
+    """``delete_batch(cost_out=...)`` reports exactly the per-delete I/O
+    deltas a driver-side snapshot loop around scalar deletes measures."""
+    factory, roomy, _ = TABLES[name]
+    keys, probe = _keys(seed=43, dupes=False)
+    victims = keys[::4] + probe[-200:]  # live keys + guaranteed misses
+    # Soft budget: LSM tombstones for this many deletes legitimately
+    # exceed the roomy m; the high-water mark is still compared.
+    roomy = dict(roomy, hard_memory=False)
+
+    ctx = make_context(**roomy)
+    table = factory(ctx)
+    table.insert_batch(keys)
+    costs: list[int] = []
+    removed = table.delete_batch(victims, cost_out=costs)
+    assert len(costs) == len(victims)
+
+    ctx2 = make_context(**roomy)
+    table2 = factory(ctx2)
+    table2.insert_batch(keys)
+    expected_costs = []
+    expected_removed = []
+    for k in victims:
+        before = ctx2.stats.snapshot()
+        expected_removed.append(table2.delete(k))
+        expected_costs.append(ctx2.stats.delta_since(before).total)
+    assert costs == expected_costs
+    assert removed.tolist() == expected_removed
+    _assert_same(_state(ctx, table), _state(ctx2, table2), f"{name} delete costs")
 
 
 def test_lsm_tombstone_resurrection_parity():
@@ -321,8 +367,12 @@ def _drive_batch(factory, ctx_kwargs, policy, backend, keys, probe):
     for lo, hi in zip(bounds, bounds[1:]):
         table.insert_batch(keys[lo:hi])
         results.append(table.lookup_batch(probe).tolist())
+        results.append(
+            table.delete_batch(keys[lo:hi][1::9] + [10**13 + lo]).tolist()
+        )
     costs: list[int] = []
     table.lookup_batch(probe, cost_out=costs)
+    table.delete_batch(keys[::11] + [10**13 + 7], cost_out=costs)
     table.check_invariants()
     state = _state(ctx, table)
     state["results"] = results

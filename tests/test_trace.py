@@ -98,12 +98,29 @@ class TestReplay:
             replay(table, [Op(LOOKUP_HIT, 12345)], strict=True)
 
     def test_lenient_replay_skips_unsupported_deletes(self):
+        # Every built-in table deletes since the batch-triad PR, so the
+        # lenient skip path needs a stub without a delete override.
+        class NoDeleteTable(ChainedHashTable):
+            def delete(self, key: int) -> bool:
+                raise NotImplementedError("no deletion")
+
         ctx = make_context(b=32, m=512, u=U)
-        table = LogMethodHashTable(ctx, MULTIPLY_SHIFT.sample(ctx.u, 9))
+        table = NoDeleteTable(ctx, MULTIPLY_SHIFT.sample(ctx.u, 9))
         trace = [Op(INSERT, 1), Op(DELETE, 1), Op(LOOKUP_HIT, 1)]
         report = replay(table, trace, strict=False)
         assert report.errors == 1
         assert report.total_ops == 3
+
+    def test_replay_drives_logmethod_deletes(self):
+        # The flip side: the log-method table's new delete path means a
+        # delete round-trips through replay with no skips.
+        ctx = make_context(b=32, m=512, u=U)
+        table = LogMethodHashTable(ctx, MULTIPLY_SHIFT.sample(ctx.u, 9))
+        trace = [Op(INSERT, 1), Op(DELETE, 1), Op(LOOKUP_MISS, 1)]
+        report = replay(table, trace, strict=True)
+        assert report.errors == 0
+        assert report.total_ops == 3
+        assert len(table) == 0
 
     def test_per_kind_costs_populated(self):
         ctx = make_context(b=32, m=512, u=U)
