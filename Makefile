@@ -3,9 +3,21 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test test-fast bench service-bench bench-all clean
+.PHONY: help test test-fast chaos-test bench service-bench bench-all clean
 
-## Tier-1 verification: the full unit/property suite.
+## Print the entry points (tier-1 invocation included).
+help:
+	@echo "Targets:"
+	@echo "  make test          tier-1 verification: PYTHONPATH=src python -m pytest tests/ -x -q"
+	@echo "                     (includes the crash-recovery chaos suite)"
+	@echo "  make test-fast     quick subset: tables + parity + EM layer"
+	@echo "  make chaos-test    crash-point matrix only: journal/recovery/fault-injection"
+	@echo "  make bench         scalar-vs-batch + backend x shards perf rows -> BENCH_throughput.json"
+	@echo "  make service-bench mixed-op service rows (incl. durable+journal leg) -> BENCH_service.json"
+	@echo "  make bench-all     every paper-artifact benchmark (slow)"
+	@echo "  make clean         remove caches"
+
+## Tier-1 verification: the full unit/property suite (chaos included).
 test:
 	$(PY) -m pytest tests/ -x -q
 
@@ -13,6 +25,14 @@ test:
 test-fast:
 	$(PY) -m pytest tests/test_batch_parity.py tests/test_em_disk.py \
 	    tests/test_em_iostats.py tests/test_buffered.py tests/test_logmethod.py -q
+
+## Crash-consistency only: the chaos matrix (crash at every epoch
+## boundary + sampled intra-epoch backend ops, per policy x backend,
+## small n), journal format/torn-tail scans, snapshot/restore, and the
+## fault-injection/retry layer.  Also part of `make test`.
+chaos-test:
+	$(PY) -m pytest tests/test_recovery.py tests/test_faults.py \
+	    tests/test_journal.py tests/test_durable_backend.py -q
 
 ## Perf trajectory: scalar-vs-batch throughput plus the backend x shards
 ## sweep (mapping/arena x 1/8 shards; I/O totals asserted backend-invariant
@@ -24,9 +44,10 @@ bench:
 	    --benchmark-json=BENCH_throughput.json
 
 ## Service axis only: the 70/25/5 mixed-workload closed-loop rows
-## (throughput + p50/p99 latency, serial-vs-threads determinism and the
-## sustained-rate gate).  Writes BENCH_service.json so a targeted run
-## never clobbers the full trajectory file.
+## (throughput + p50/p99 latency, serial-vs-threads determinism, the
+## sustained-rate gate, and the journal-overhead leg: durable-arena +
+## write-ahead journal vs in-memory arena).  Writes BENCH_service.json
+## so a targeted run never clobbers the full trajectory file.
 service-bench:
 	$(PY) -m pytest benchmarks/bench_throughput.py::test_service_mixed_throughput \
 	    --benchmark-only -s -q --benchmark-json=BENCH_service.json

@@ -45,6 +45,14 @@ Asserted: the ``threads`` executor is bit-identical to ``serial``
 per-op results) and sustains at least PR 4's recorded unsharded
 mapping batch rate at n = 10⁶ (699.3 kops) on the mixed stream.
 
+The durability PR adds the **journal-overhead row**: the same mixed
+stream through durable-arena shards with a fsync'd epoch write-ahead
+journal attached, serial executor, compared against this run's own
+serial in-memory-arena leg at n = 10⁶.  The charged I/O totals are
+asserted bit-identical (durability is a representation + logging
+choice, invisible to the model's ledgers); wall-clock must stay within
+15% (kops ratio ≥ 0.85).
+
 Run via ``make bench`` (writes ``BENCH_throughput.json`` at the repo
 root) — the perf trajectory future PRs regress against.
 """
@@ -56,7 +64,7 @@ import time
 from repro.core.buffered import BufferedHashTable
 from repro.em import STRICT_POLICY, make_context
 from repro.hashing.family import MULTIPLY_SHIFT
-from repro.service import ClosedLoopClient, DictionaryService
+from repro.service import ClosedLoopClient, DictionaryService, EpochJournal
 from repro.tables import ShardedDictionary
 from repro.workloads.trace import (
     OP_DELETE,
@@ -90,6 +98,9 @@ SERVICE_MIX = (0.25, 0.60, 0.10, 0.05)
 SERVICE_WINDOW = 65536
 SERVICE_SHARDS = 8
 SERVICE_SIZES = (100_000, 1_000_000)
+#: Journal-overhead gate: durable-arena + fsync'd journal must keep
+#: >= this fraction of the in-memory serial arena leg's kops at n=1e6.
+REQUIRED_DURABLE_KOPS_RATIO = 0.85
 
 
 def _table_factory(ctx):
@@ -247,6 +258,40 @@ def _run_service(kinds, keys, executor: str) -> dict:
         }
 
 
+def _run_durable_service(kinds, keys) -> dict:
+    """The durability leg: durable-arena shards + fsync'd epoch journal."""
+    import os
+    import shutil
+    import tempfile
+
+    workdir = tempfile.mkdtemp(prefix="repro-bench-journal-")
+    try:
+        ctx = make_context(b=B, m=M, u=U, backend="durable-arena")
+        journal = EpochJournal(os.path.join(workdir, "epochs.journal"))
+        with DictionaryService(
+            ctx,
+            _table_factory,
+            shards=SERVICE_SHARDS,
+            executor="serial",
+            epoch_ops=SERVICE_WINDOW,
+            journal=journal,
+        ) as svc:
+            report = ClosedLoopClient(svc, window=SERVICE_WINDOW).drive(
+                kinds, keys, check=True
+            )
+            io = svc.io_snapshot()
+            out = {
+                "report": report,
+                "io": (io.reads, io.writes, io.combined, io.allocations),
+                "journal_bytes": journal.bytes_written,
+                "journal_epochs": journal.committed_epochs,
+            }
+        journal.close()
+        return out
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
 def _run_mixed_reference(kinds, keys) -> tuple[float, int]:
     """The same mix through the bare unsharded mapping table's batch API."""
     ctx, table = _fresh_table("mapping", 1)
@@ -284,6 +329,29 @@ def test_service_mixed_throughput(benchmark):
             assert serial["shard_ledgers"] == threads["shard_ledgers"]
             assert serial["peak"] == threads["peak"]
             assert serial["sizes"] == threads["sizes"]
+            # The durable leg is gated as a *ratio*, and single-machine
+            # throughput drifts run to run — so each durable rep is
+            # paired with an adjacent serial arena rep and the ratio is
+            # taken within the pair (best pair wins); comparing two
+            # best-ofs measured minutes apart reads drift as overhead.
+            pair_ratios = []
+            durable = None
+            for _ in range(reps):
+                base = _run_service(kinds, keys, "serial")
+                cand = _run_durable_service(kinds, keys)
+                pair_ratios.append(
+                    cand["report"].kops / base["report"].kops
+                )
+                if durable is None or (
+                    cand["report"].seconds < durable["report"].seconds
+                ):
+                    durable = cand
+            # Durability is representation + logging: the charged I/O
+            # ledgers must not notice the memmap arenas or the journal.
+            assert durable["io"] == serial["io"], (
+                f"durable-arena+journal changed cluster I/O at n={n}: "
+                f"{durable['io']} != {serial['io']}"
+            )
             ref_seconds, ref_io = _run_mixed_reference(kinds, keys)
             for executor, leg in legs.items():
                 rep = leg["report"]
@@ -298,6 +366,20 @@ def test_service_mixed_throughput(benchmark):
                         "ios": sum(leg["io"][:2]),
                     }
                 )
+            rep = durable["report"]
+            rows.append(
+                {
+                    "n": n,
+                    "config": (
+                        f"service/serial+journal/durable-arena x{SERVICE_SHARDS}"
+                    ),
+                    "kops": rep.row()["kops"],
+                    "p50_ms": rep.row()["p50_ms"],
+                    "p99_ms": rep.row()["p99_ms"],
+                    "epochs": rep.epochs,
+                    "ios": sum(durable["io"][:2]),
+                }
+            )
             rows.append(
                 {
                     "n": n,
@@ -314,6 +396,11 @@ def test_service_mixed_throughput(benchmark):
                 gate["reference_kops"] = n / ref_seconds / 1e3
                 gate["cluster_ios"] = sum(serial["io"][:2])
                 gate["reference_ios"] = ref_io
+                gate["durable_kops"] = durable["report"].kops
+                gate["serial_kops"] = serial["report"].kops
+                gate["durable_ratio"] = max(pair_ratios)
+                gate["journal_bytes"] = durable["journal_bytes"]
+                gate["journal_epochs"] = durable["journal_epochs"]
         return rows, gate
 
     rows, gate = once(benchmark, sweep)
@@ -346,6 +433,20 @@ def test_service_mixed_throughput(benchmark):
     )
     # Sharding still pays in cluster I/O on mixed traffic.
     assert gate["cluster_ios"] <= gate["reference_ios"]
+
+    # The durability acceptance: memmap arenas plus the fsync'd epoch
+    # journal must cost at most 15% of the in-memory serial arena leg's
+    # throughput at n=1e6 (best adjacent pair; see the pairing note in
+    # the sweep).
+    durable_ratio = gate["durable_ratio"]
+    benchmark.extra_info["durable_vs_arena_1e6"] = round(durable_ratio, 2)
+    benchmark.extra_info["journal_bytes_1e6"] = gate["journal_bytes"]
+    benchmark.extra_info["journal_epochs_1e6"] = gate["journal_epochs"]
+    assert durable_ratio >= REQUIRED_DURABLE_KOPS_RATIO, (
+        f"durable-arena+journal overhead exceeds 15% at n=1e6: "
+        f"{gate['durable_kops']:.1f} vs {gate['serial_kops']:.1f} kops "
+        f"(best paired ratio {durable_ratio:.2f})"
+    )
 
 
 def test_batch_throughput(benchmark):

@@ -9,13 +9,17 @@ code:
 * ``audit``     — zone-decompose and certify the built-in tables.
 * ``trace``     — replay a mixed workload against a chosen table.
 * ``serve``     — drive the dictionary service with a closed-loop
-  client over a mixed request stream (throughput + latency percentiles).
+  client over a mixed request stream (throughput + latency percentiles),
+  optionally journaled (``--journal``) and checkpointed (``--snapshot``).
+* ``recover``   — rebuild a crashed ``serve`` run from its snapshot +
+  journal and report what was replayed.
 
 Every command accepts ``--b``, ``--m``, ``--n`` to change the model
 geometry, plus the system axes ``--backend`` (storage backend behind
-the disk: ``mapping`` or ``arena``; I/O counts are backend-invariant)
-and ``--shards`` (fan the dictionary out over N independent shards),
-and prints plain aligned tables (no plotting dependencies).
+the disk: ``mapping``, ``arena``, or the memmap-persistent
+``durable-arena``; I/O counts are backend-invariant) and ``--shards``
+(fan the dictionary out over N independent shards), and prints plain
+aligned tables (no plotting dependencies).
 """
 
 from __future__ import annotations
@@ -198,10 +202,28 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _validate_serve(args) -> str | None:
+    """Reject malformed service inputs with a message, not a traceback."""
+    mix_sum = sum(args.mix)
+    if any(w < 0 for w in args.mix):
+        return f"--mix weights must be non-negative, got {args.mix}"
+    if abs(mix_sum - 1.0) > 1e-6:
+        return f"--mix must sum to 1.0, got {args.mix} (sum {mix_sum:.6g})"
+    if args.epoch_ops <= 0:
+        return f"--epoch-ops must be positive, got {args.epoch_ops}"
+    if args.window <= 0:
+        return f"--window must be positive, got {args.window}"
+    return None
+
+
 def cmd_serve(args) -> int:
-    from .service import ClosedLoopClient, DictionaryService, EXECUTORS
+    from .service import ClosedLoopClient, DictionaryService, EpochJournal
     from .workloads.trace import BulkMixedWorkload
 
+    error = _validate_serve(args)
+    if error is not None:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
     factories = _base_factories(args)
     if args.table not in factories:
         print(f"unknown table {args.table!r}; choose from {sorted(factories)}")
@@ -214,13 +236,19 @@ def cmd_serve(args) -> int:
         chunk=args.window,  # chunk-aligned windows maximise epoch sizes
     )
     kinds, keys = wl.take_arrays(args.n)
+    journal = EpochJournal(args.journal) if args.journal else None
     with DictionaryService(
         ctx,
         factories[args.table],
         shards=args.shards,
         executor=args.executor,
         epoch_ops=args.epoch_ops,
+        journal=journal,
     ) as svc:
+        if args.snapshot:
+            # The t=0 checkpoint: `repro recover` rebuilds the final
+            # state from it plus the journal's committed epochs.
+            svc.snapshot(args.snapshot)
         report = ClosedLoopClient(svc, window=args.window).drive(kinds, keys)
         print(format_rows([dict(report.row(), executor=args.executor,
                                 shards=args.shards, backend=args.backend)]))
@@ -229,6 +257,36 @@ def cmd_serve(args) -> int:
               f"(reads={io.reads} writes={io.writes} combined={io.combined}), "
               f"memory peak {svc.memory_high_water()} words over "
               f"{svc.shards} shard machines")
+        if journal is not None:
+            print(f"journal: {journal.committed_epochs} epochs committed, "
+                  f"{journal.bytes_written} bytes -> {args.journal}")
+            journal.close()
+    return 0
+
+
+def cmd_recover(args) -> int:
+    from .service import recover
+
+    try:
+        rep = recover(args.snapshot, args.journal, executor=args.executor,
+                      resume_journal=False)
+    except FileNotFoundError as exc:
+        print(f"recover: {exc}", file=sys.stderr)
+        return 2
+    svc = rep.service
+    io = svc.io_snapshot()
+    print(format_rows([{
+        "replayed_epochs": rep.replayed_epochs,
+        "replayed_ops": rep.replayed_ops,
+        "discarded_ops": rep.discarded_ops,
+        "committed_through": rep.committed_through,
+        "keys": len(svc),
+    }]))
+    print(f"\ncluster I/O: {io.reads + io.writes} "
+          f"(reads={io.reads} writes={io.writes} combined={io.combined}), "
+          f"memory peak {svc.memory_high_water()} words over "
+          f"{svc.shards} shard machines")
+    svc.close()
     return 0
 
 
@@ -291,7 +349,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max ops coalesced into one epoch")
     p.add_argument("--window", type=int, default=8192,
                    help="closed-loop client window (requests per round trip)")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="epoch write-ahead journal file (enables durability)")
+    p.add_argument("--snapshot", default=None, metavar="PATH",
+                   help="write a t=0 service checkpoint before driving")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "recover", help="rebuild a service from a snapshot + journal"
+    )
+    p.add_argument("--snapshot", required=True, metavar="PATH",
+                   help="snapshot file written by `serve --snapshot`")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="journal file written by `serve --journal`")
+    p.add_argument("--executor", choices=["serial", "threads"], default="serial")
+    p.set_defaults(func=cmd_recover)
     return parser
 
 

@@ -16,6 +16,7 @@ Public surface:
 from .backends import (
     BACKENDS,
     ArenaBackend,
+    DurableArenaBackend,
     MappingBackend,
     StorageBackend,
     make_backend,
@@ -29,6 +30,9 @@ from .errors import (
     EMError,
     InvalidBlockError,
     MemoryBudgetExceededError,
+    RetryExhausted,
+    SimulatedCrash,
+    StorageFault,
 )
 from .iostats import IOPolicy, IOSnapshot, IOStats, PAPER_POLICY, STRICT_POLICY
 from .memory import MemoryBudget
@@ -38,6 +42,7 @@ __all__ = [
     "ArenaBackend",
     "BACKENDS",
     "Block",
+    "DurableArenaBackend",
     "MappingBackend",
     "StorageBackend",
     "make_backend",
@@ -50,6 +55,9 @@ __all__ = [
     "ConfigurationError",
     "InvalidBlockError",
     "MemoryBudgetExceededError",
+    "RetryExhausted",
+    "SimulatedCrash",
+    "StorageFault",
     "IOPolicy",
     "IOSnapshot",
     "IOStats",

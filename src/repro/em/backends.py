@@ -16,6 +16,12 @@ charged I/O discipline run over different physical representations:
   Python object is materialised on the batch-engine fast paths.  Whole
   :class:`Block` handles are materialised only for the scalar
   ``load``/``stage``/``store`` discipline and committed back on store.
+* :class:`DurableArenaBackend` — the arena with its record matrix and
+  length vector memory-mapped onto files (plain ndarray views over
+  shared ``mmap`` buffers, so hot paths stay off the ``np.memmap``
+  subclass dispatch), plus an
+  atomic ``flush``/``open`` cycle for the durability subsystem
+  (snapshots, crash recovery — see :mod:`repro.service.recovery`).
 
 The contract every backend must honour — pinned by the backend-parity
 suite in ``tests/test_batch_parity.py`` — is that **block contents and
@@ -33,6 +39,14 @@ registry.
 from __future__ import annotations
 
 import abc
+import contextlib
+import mmap
+import os
+import pickle
+import shutil
+import tempfile
+import weakref
+from pathlib import Path
 from typing import Iterable
 
 import numpy as np
@@ -44,6 +58,7 @@ __all__ = [
     "StorageBackend",
     "MappingBackend",
     "ArenaBackend",
+    "DurableArenaBackend",
     "BACKENDS",
     "make_backend",
 ]
@@ -458,11 +473,179 @@ class ArenaBackend(StorageBackend):
         return words + sum(blk.used_words for blk in self._odd.values())
 
 
+class DurableArenaBackend(ArenaBackend):
+    """An :class:`ArenaBackend` whose arenas live in memory-mapped files.
+
+    Drop-in for the in-memory arena — same slot management, same
+    record-level primitives, same I/O-accounting invariance — but the
+    ``(slots, records_per_block)`` record matrix and the length vector
+    are memory-mapped onto files under ``path``:
+
+    * ``arena.u64``   — the record matrix, row-major ``uint64``;
+    * ``lengths.i64`` — per-slot record counts, ``int64``;
+    * ``meta.pkl``    — everything O(1)-per-block that is not
+      fixed-width (slot map, free list, headers, odd-width blocks),
+      written atomically (tmp + fsync + ``os.replace``) by
+      :meth:`flush`.
+
+    Mutations hit the mapped pages immediately (so a hard crash leaves
+    a possibly-torn file — recovery must come from a snapshot + journal,
+    never from a live arena file); :meth:`flush` makes the current state
+    durable and reloadable via :meth:`open`.
+
+    When ``path`` is omitted a private temporary directory is created
+    (and removed when the backend is garbage collected), which is what
+    the ``make_backend("durable-arena", ...)`` registry path and the
+    per-shard disks of a service use.
+    """
+
+    name = "durable-arena"
+
+    _DATA_FILE = "arena.u64"
+    _LEN_FILE = "lengths.i64"
+    _META_FILE = "meta.pkl"
+
+    def __init__(
+        self,
+        block_size_words: int,
+        record_words: int = 1,
+        *,
+        path: str | Path | None = None,
+        initial_slots: int = 64,
+    ) -> None:
+        super().__init__(
+            block_size_words, record_words, initial_slots=initial_slots
+        )
+        if path is None:
+            self.path = Path(tempfile.mkdtemp(prefix="repro-durable-arena-"))
+            self._cleanup = weakref.finalize(
+                self, shutil.rmtree, str(self.path), ignore_errors=True
+            )
+        else:
+            self.path = Path(path)
+            self.path.mkdir(parents=True, exist_ok=True)
+            self._cleanup = None
+        # Re-home the freshly built in-memory arenas onto mapped files.
+        self._mmaps: dict[str, mmap.mmap] = {}
+        slots = self._data.shape[0]
+        self._data = self._map(self._DATA_FILE, np.uint64, (slots, self._cap))
+        self._len = self._map(self._LEN_FILE, np.int64, (slots,))
+
+    # -- file plumbing -------------------------------------------------------
+
+    def _map(self, name: str, dtype, shape: tuple) -> np.ndarray:
+        """Map ``name`` at ``shape``, zero-extending the file as needed.
+
+        Returns a *plain* ndarray view over a shared ``mmap.mmap``
+        buffer rather than an ``np.memmap``: mutations hit the mapped
+        pages identically, but slicing stays on numpy's ndarray fast
+        path (the memmap subclass pays ``__array_finalize__`` dispatch
+        on every view, which dominates record-level hot loops).
+
+        Extending only ever appends whole rows at the end of the file
+        (the matrix is row-major and grows in slots), so existing bytes
+        keep their meaning across every remap; MAP_SHARED coherence
+        makes old and new mappings of the same file interchangeable.
+        """
+        target = Path(self.path, name)
+        nbytes = int(np.dtype(dtype).itemsize * np.prod(shape))
+        with open(target, "ab") as fh:
+            if fh.tell() < nbytes:
+                fh.truncate(nbytes)
+        with open(target, "r+b") as fh:
+            mm = mmap.mmap(fh.fileno(), nbytes)
+        self._mmaps[name] = mm
+        return np.frombuffer(mm, dtype=dtype).reshape(shape)
+
+    def _grow(self, needed: int) -> None:
+        cur = self._data.shape[0]
+        new = max(2 * cur, needed)
+        self._data = self._map(self._DATA_FILE, np.uint64, (new, self._cap))
+        self._len = self._map(self._LEN_FILE, np.int64, (new,))
+
+    def flush(self) -> None:
+        """Make the current state durable: msync arenas, fsync metadata."""
+        for mm in self._mmaps.values():
+            mm.flush()
+        meta = {
+            "b": self.b,
+            "record_words": self.record_words,
+            "cap": self._cap,
+            "slots": int(self._data.shape[0]),
+            "slot": dict(self._slot),
+            "free_slots": list(self._free_slots),
+            "headers": {bid: dict(h) for bid, h in self._headers.items()},
+            "odd": dict(self._odd),
+        }
+        target = Path(self.path, self._META_FILE)
+        fd, tmp = tempfile.mkstemp(dir=self.path, prefix=".meta-")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(meta, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, target)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+
+    @classmethod
+    def open(cls, path: str | Path) -> "DurableArenaBackend":
+        """Reload a flushed arena from ``path`` (meta + mapped files)."""
+        path = Path(path)
+        with open(Path(path, cls._META_FILE), "rb") as fh:
+            meta = pickle.load(fh)
+        self = cls(
+            meta["b"],
+            meta["record_words"],
+            path=path,
+            initial_slots=meta["slots"],
+        )
+        self._slot = dict(meta["slot"])
+        self._free_slots = list(meta["free_slots"])
+        self._headers = {bid: dict(h) for bid, h in meta["headers"].items()}
+        self._odd = dict(meta["odd"])
+        return self
+
+    # -- pickling (snapshot/restore) -----------------------------------------
+    #
+    # A snapshot must capture the arena *contents*, not the mapping: the
+    # live files may be torn by the crash being recovered from.  Pickle
+    # therefore carries plain ndarrays; unpickling re-homes them onto a
+    # fresh private directory, so a restored backend is durable again at
+    # a new location and never aliases the crashed files.
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_data"] = np.asarray(self._data).copy()
+        state["_len"] = np.asarray(self._len).copy()
+        state.pop("_cleanup", None)
+        state.pop("_mmaps", None)
+        state.pop("path", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        data = state.pop("_data")
+        length = state.pop("_len")
+        self.__dict__.update(state)
+        self.path = Path(tempfile.mkdtemp(prefix="repro-durable-arena-"))
+        self._cleanup = weakref.finalize(
+            self, shutil.rmtree, str(self.path), ignore_errors=True
+        )
+        self._mmaps = {}
+        self._data = self._map(self._DATA_FILE, np.uint64, data.shape)
+        self._data[:] = data
+        self._len = self._map(self._LEN_FILE, np.int64, length.shape)
+        self._len[:] = length
+
+
 #: Name -> backend class registry, the selection surface of
 #: ``make_context(backend=...)`` and ``core.config.StorageConfig``.
 BACKENDS: dict[str, type[StorageBackend]] = {
     MappingBackend.name: MappingBackend,
     ArenaBackend.name: ArenaBackend,
+    DurableArenaBackend.name: DurableArenaBackend,
 }
 
 

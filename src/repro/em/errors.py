@@ -32,3 +32,31 @@ class FrozenBlockError(EMError):
 
 class ConfigurationError(EMError):
     """Raised for invalid model parameters (``b``, ``m``, ``u`` ...)."""
+
+
+class StorageFault(EMError):
+    """A (possibly transient) storage-level failure of one backend primitive.
+
+    Raised by fault-injecting backends to model a read or write that
+    failed at the device.  Transient faults heal when the primitive is
+    retried; the retry discipline lives in
+    :class:`repro.service.faults.RetryingBackend`.
+    """
+
+
+class RetryExhausted(StorageFault):
+    """A storage fault persisted through every allowed retry.
+
+    The service layer re-raises these with the owning shard and epoch
+    named in the message, so an operator can tell *where* the device
+    gave up.
+    """
+
+
+class SimulatedCrash(EMError):
+    """A scheduled hard crash point fired (fault-injection harness).
+
+    Models ``kill -9`` mid-operation: whoever catches it must abandon
+    the in-memory state entirely and recover from the last snapshot
+    plus the committed journal suffix — never from the crashed objects.
+    """

@@ -9,13 +9,33 @@ Turns the reproduction's dictionaries into a servable system:
   ``serial`` / ``threads`` executor, with per-shard I/O ledgers merged
   at epoch close (parallel runs bit-identical to serial);
 * :mod:`repro.service.client` — a closed-loop client simulator
-  reporting throughput and per-op latency percentiles.
+  reporting throughput and per-op latency percentiles;
+* :mod:`repro.service.journal` — the epoch write-ahead journal
+  (append-before-execute, fsync-commit-after-merge);
+* :mod:`repro.service.recovery` — snapshot/restore of a live service
+  and snapshot+journal crash recovery;
+* :mod:`repro.service.faults` — deterministic fault injection,
+  retry-with-backoff healing, and the crash-recovery chaos harness.
 
-See ``src/repro/service/README.md`` for the epoch/executor guarantees.
+See ``src/repro/service/README.md`` for the epoch/executor and
+durability guarantees.
 """
 
 from .client import ClientReport, ClosedLoopClient
 from .epochs import Epoch, build_epochs
+from .faults import (
+    ChaosReport,
+    CrashPoint,
+    CrashingJournal,
+    FaultClock,
+    FaultInjectingBackend,
+    FaultSchedule,
+    RetryPolicy,
+    RetryingBackend,
+    run_crash_matrix,
+)
+from .journal import EpochJournal, JournalRecord, JournalScan
+from .recovery import RecoveryReport, recover, restore_service, snapshot_service
 from .service import (
     EXECUTORS,
     DictionaryService,
@@ -32,6 +52,22 @@ __all__ = [
     "ClosedLoopClient",
     "Epoch",
     "build_epochs",
+    "ChaosReport",
+    "CrashPoint",
+    "CrashingJournal",
+    "EpochJournal",
+    "FaultClock",
+    "FaultInjectingBackend",
+    "FaultSchedule",
+    "JournalRecord",
+    "JournalScan",
+    "RecoveryReport",
+    "RetryPolicy",
+    "RetryingBackend",
+    "recover",
+    "restore_service",
+    "run_crash_matrix",
+    "snapshot_service",
     "DictionaryService",
     "EpochReport",
     "ServiceRun",

@@ -30,10 +30,17 @@ __all__ = ["ClientReport", "ClosedLoopClient"]
 
 
 def _weighted_percentile(pairs: list[tuple[float, int]], q: float) -> float:
-    """Exact percentile of a sample given as ``(value, multiplicity)``."""
+    """Exact percentile of a sample given as ``(value, multiplicity)``.
+
+    Robust for degenerate samples: an empty list, zero total mass, or a
+    single pair must yield a well-defined number (0.0 for no mass, the
+    lone value otherwise) — a 0- or 1-op run reports honest percentiles
+    instead of raising or returning garbage.
+    """
+    pairs = sorted((value, count) for value, count in pairs if count > 0)
     if not pairs:
         return 0.0
-    pairs = sorted(pairs)
+    q = min(max(q, 0.0), 100.0)
     total = sum(count for _, count in pairs)
     threshold = q / 100.0 * total
     cum = 0

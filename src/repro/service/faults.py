@@ -1,0 +1,677 @@
+"""Deterministic fault injection and the crash-recovery chaos harness.
+
+Three decorators over the storage/journal layers, all driven by seeded
+schedules so every failure is exactly reproducible:
+
+* :class:`FaultInjectingBackend` — wraps any
+  :class:`~repro.em.backends.StorageBackend`; raises
+  :class:`~repro.em.errors.StorageFault` at scheduled backend-op
+  indices (transient, in bursts), and :class:`~repro.em.errors.SimulatedCrash`
+  at a scheduled hard crash point — tearing multi-record writes first,
+  so the abandoned live state is genuinely inconsistent.
+* :class:`RetryingBackend` — the healing side: bounded
+  retry-with-exponential-backoff around every faultable primitive,
+  raising :class:`~repro.em.errors.RetryExhausted` when the burst
+  outlives the retry budget.  Retries happen *below* the disk's
+  charging layer, so a healed fault never perturbs the I/O ledgers —
+  the accounting the paper's bounds are checked against.
+* :class:`CrashingJournal` — crashes the write-ahead journal itself at
+  a scheduled epoch's append (leaving a torn record) or commit (epoch
+  executed but never marked durable).
+
+:func:`run_crash_matrix` composes them into the chaos harness: one
+uninterrupted golden run, then one crash-and-recover run per crash
+point (every epoch's append and commit boundary plus sampled
+intra-epoch backend-op indices), each asserting the recovered service
+finishes the trace with **bit-identical** layout, lookup results,
+per-shard and cluster ledgers, sizes, and memory peaks.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..em.backends import StorageBackend
+from ..em.block import Block
+from ..em.errors import RetryExhausted, SimulatedCrash, StorageFault
+from .journal import EpochJournal
+from .recovery import recover, snapshot_service
+from .service import DictionaryService
+
+__all__ = [
+    "ChaosOutcome",
+    "ChaosReport",
+    "CrashPoint",
+    "CrashingJournal",
+    "FaultClock",
+    "FaultInjectingBackend",
+    "FaultSchedule",
+    "RetryPolicy",
+    "RetryingBackend",
+    "run_crash_matrix",
+]
+
+
+# ---------------------------------------------------------------------------
+# Schedules
+# ---------------------------------------------------------------------------
+
+
+class FaultClock:
+    """A monotone counter of faultable backend primitives.
+
+    Shared by every shard's :class:`FaultInjectingBackend` so a single
+    op index identifies one global point in the execution — which is
+    only deterministic under the ``serial`` executor (the chaos harness
+    requires it).
+    """
+
+    def __init__(self) -> None:
+        self.ops = 0
+
+    def tick(self) -> int:
+        self.ops += 1
+        return self.ops
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Seeded, deterministic plan of faults against one clock.
+
+    ``read_faults`` / ``write_faults`` map a clock index to a *burst
+    length*: starting at that primitive invocation, the next ``burst``
+    invocations of that kind fail before the device heals.  A burst no
+    longer than the retry budget is healed invisibly; a longer one
+    surfaces as :class:`~repro.em.errors.RetryExhausted`.
+    ``crash_at_op`` is a hard crash: the first faultable primitive at or
+    past that index raises :class:`~repro.em.errors.SimulatedCrash`
+    (after tearing the write, when it was a multi-record write).
+    """
+
+    read_faults: dict[int, int] = field(default_factory=dict)
+    write_faults: dict[int, int] = field(default_factory=dict)
+    crash_at_op: int | None = None
+
+    @classmethod
+    def sample(
+        cls,
+        seed: int,
+        ops: int,
+        *,
+        read_sites: int = 4,
+        write_sites: int = 4,
+        burst: int = 2,
+        crash_at_op: int | None = None,
+    ) -> "FaultSchedule":
+        """Sample distinct fault sites uniformly over ``[1, ops]``."""
+        rng = np.random.default_rng(seed)
+
+        def pick(k: int) -> dict[int, int]:
+            if ops < 1 or k < 1:
+                return {}
+            sites = rng.choice(np.arange(1, ops + 1), size=min(k, ops), replace=False)
+            return {int(i): burst for i in sites}
+
+        return cls(
+            read_faults=pick(read_sites),
+            write_faults=pick(write_sites),
+            crash_at_op=crash_at_op,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Fault-injecting backend decorator
+# ---------------------------------------------------------------------------
+
+
+class FaultInjectingBackend(StorageBackend):
+    """Injects scheduled faults into another backend's primitives.
+
+    Read-faultable primitives: ``fetch``, ``records``, ``records_arr``,
+    ``contains_key``.  Write-faultable: ``commit``, ``append``,
+    ``replace``, ``drain``, ``remove_key``.  Metadata/lifecycle calls
+    (``create``, ``delete``, ``length`` ...) pass through untouched —
+    faults model the data path, not the allocator.
+    """
+
+    name = "fault-injecting"
+
+    def __init__(
+        self,
+        inner: StorageBackend,
+        *,
+        clock: FaultClock | None = None,
+        schedule: FaultSchedule | None = None,
+    ) -> None:
+        super().__init__(inner.b, inner.record_words)
+        self.inner = inner
+        self.clock = clock if clock is not None else FaultClock()
+        self.schedule = schedule if schedule is not None else FaultSchedule()
+        self.injected = 0
+        self._pending = {"read": 0, "write": 0}
+
+    def _tick(self, kind: str, block_id: int, torn=None) -> None:
+        op = self.clock.tick()
+        sched = self.schedule
+        if sched.crash_at_op is not None and op >= sched.crash_at_op:
+            if torn is not None:
+                # Tear the write: a prefix of the records lands, the
+                # rest never does — the abandoned state is inconsistent
+                # and recovery must not look at it.
+                with contextlib.suppress(Exception):
+                    torn()
+            raise SimulatedCrash(
+                f"hard crash at backend op {op} ({kind} on block {block_id})"
+            )
+        table = sched.read_faults if kind == "read" else sched.write_faults
+        burst = table.get(op, 0)
+        if burst:
+            self._pending[kind] = max(self._pending[kind], burst)
+        if self._pending[kind] > 0:
+            self._pending[kind] -= 1
+            self.injected += 1
+            raise StorageFault(
+                f"injected transient {kind} fault on block {block_id} (op {op})"
+            )
+
+    # -- read-faultable -------------------------------------------------------
+
+    def fetch(self, block_id: int) -> Block:
+        self._tick("read", block_id)
+        return self.inner.fetch(block_id)
+
+    def records(self, block_id: int) -> list[int]:
+        self._tick("read", block_id)
+        return self.inner.records(block_id)
+
+    def records_arr(self, block_id: int) -> np.ndarray:
+        self._tick("read", block_id)
+        return self.inner.records_arr(block_id)
+
+    def contains_key(self, block_id: int, key: int) -> bool:
+        self._tick("read", block_id)
+        return self.inner.contains_key(block_id, key)
+
+    # -- write-faultable ------------------------------------------------------
+
+    def commit(self, block_id: int, block: Block, *, copy: bool = False) -> None:
+        self._tick("write", block_id)
+        self.inner.commit(block_id, block, copy=copy)
+
+    def append(self, block_id: int, items: list[int]) -> None:
+        torn = None
+        if len(items) > 1:
+            torn = lambda: self.inner.append(block_id, items[: len(items) // 2])
+        self._tick("write", block_id, torn=torn)
+        self.inner.append(block_id, items)
+
+    def replace(self, block_id: int, items: list[int]) -> None:
+        torn = None
+        if len(items) > 1:
+            torn = lambda: self.inner.replace(block_id, items[: len(items) // 2])
+        self._tick("write", block_id, torn=torn)
+        self.inner.replace(block_id, items)
+
+    def drain(self, block_id: int) -> list[int]:
+        self._tick("write", block_id)
+        return self.inner.drain(block_id)
+
+    def remove_key(self, block_id: int, key: int) -> bool:
+        self._tick("write", block_id)
+        return self.inner.remove_key(block_id, key)
+
+    # -- untouched pass-through ----------------------------------------------
+
+    def create(self, block_id: int, *, record_words: int | None = None) -> None:
+        self.inner.create(block_id, record_words=record_words)
+
+    def create_many(self, block_ids, *, record_words: int | None = None) -> None:
+        self.inner.create_many(block_ids, record_words=record_words)
+
+    def delete(self, block_id: int) -> None:
+        self.inner.delete(block_id)
+
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self.inner
+
+    def length(self, block_id: int) -> int:
+        return self.inner.length(block_id)
+
+    def is_fresh(self, block_id: int) -> bool:
+        return self.inner.is_fresh(block_id)
+
+    def ids(self) -> list[int]:
+        return self.inner.ids()
+
+    def count(self) -> int:
+        return self.inner.count()
+
+    def nonempty(self) -> int:
+        return self.inner.nonempty()
+
+    def words_stored(self) -> int:
+        return self.inner.words_stored()
+
+
+# ---------------------------------------------------------------------------
+# Retry-with-backoff decorator
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff: ``backoff_s · 2^(attempt-1)``, capped."""
+
+    max_retries: int = 4
+    backoff_s: float = 0.0005
+    max_backoff_s: float = 0.008
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based)."""
+        return min(self.backoff_s * (2 ** (attempt - 1)), self.max_backoff_s)
+
+
+class RetryingBackend(StorageBackend):
+    """Heals transient :class:`StorageFault`\\ s with bounded retries.
+
+    Sits between the disk and a (possibly faulty) inner backend.  The
+    disk charges an I/O only after the primitive returns, so healed
+    retries are invisible to the ledgers — fault-free and healed runs
+    produce bit-identical :class:`~repro.em.iostats.IOStats`.
+    :class:`SimulatedCrash` is *not* retried (the process is dead), and
+    a burst outliving ``policy.max_retries`` raises
+    :class:`~repro.em.errors.RetryExhausted` naming the block.
+    """
+
+    name = "retrying"
+
+    def __init__(
+        self,
+        inner: StorageBackend,
+        *,
+        policy: RetryPolicy | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        super().__init__(inner.b, inner.record_words)
+        self.inner = inner
+        self.policy = policy if policy is not None else RetryPolicy()
+        self._sleep = sleep
+        self.retries = 0
+        self.total_backoff_s = 0.0
+
+    def _call(self, block_id: int, fn, *args, **kwargs):
+        policy = self.policy
+        last: StorageFault | None = None
+        for attempt in range(policy.max_retries + 1):
+            try:
+                return fn(*args, **kwargs)
+            except RetryExhausted:
+                raise
+            except StorageFault as exc:
+                last = exc
+                if attempt == policy.max_retries:
+                    break
+                self.retries += 1
+                delay = policy.delay(attempt + 1)
+                self.total_backoff_s += delay
+                if delay > 0:
+                    self._sleep(delay)
+        raise RetryExhausted(
+            f"block {block_id}: gave up after {policy.max_retries} retries: {last}"
+        ) from last
+
+    def fetch(self, block_id: int) -> Block:
+        return self._call(block_id, self.inner.fetch, block_id)
+
+    def records(self, block_id: int) -> list[int]:
+        return self._call(block_id, self.inner.records, block_id)
+
+    def records_arr(self, block_id: int) -> np.ndarray:
+        return self._call(block_id, self.inner.records_arr, block_id)
+
+    def contains_key(self, block_id: int, key: int) -> bool:
+        return self._call(block_id, self.inner.contains_key, block_id, key)
+
+    def commit(self, block_id: int, block: Block, *, copy: bool = False) -> None:
+        return self._call(block_id, self.inner.commit, block_id, block, copy=copy)
+
+    def append(self, block_id: int, items: list[int]) -> None:
+        return self._call(block_id, self.inner.append, block_id, items)
+
+    def replace(self, block_id: int, items: list[int]) -> None:
+        return self._call(block_id, self.inner.replace, block_id, items)
+
+    def drain(self, block_id: int) -> list[int]:
+        return self._call(block_id, self.inner.drain, block_id)
+
+    def remove_key(self, block_id: int, key: int) -> bool:
+        return self._call(block_id, self.inner.remove_key, block_id, key)
+
+    # -- untouched pass-through ----------------------------------------------
+
+    def create(self, block_id: int, *, record_words: int | None = None) -> None:
+        self.inner.create(block_id, record_words=record_words)
+
+    def create_many(self, block_ids, *, record_words: int | None = None) -> None:
+        self.inner.create_many(block_ids, record_words=record_words)
+
+    def delete(self, block_id: int) -> None:
+        self.inner.delete(block_id)
+
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self.inner
+
+    def length(self, block_id: int) -> int:
+        return self.inner.length(block_id)
+
+    def is_fresh(self, block_id: int) -> bool:
+        return self.inner.is_fresh(block_id)
+
+    def ids(self) -> list[int]:
+        return self.inner.ids()
+
+    def count(self) -> int:
+        return self.inner.count()
+
+    def nonempty(self) -> int:
+        return self.inner.nonempty()
+
+    def words_stored(self) -> int:
+        return self.inner.words_stored()
+
+
+# ---------------------------------------------------------------------------
+# Crashing journal decorator
+# ---------------------------------------------------------------------------
+
+
+class CrashingJournal(EpochJournal):
+    """An :class:`EpochJournal` that crashes at a scheduled epoch.
+
+    ``crash_append_at=e`` tears epoch ``e``'s OPS record: a prefix of
+    the record bytes lands on disk, then the process dies — scan must
+    discard it.  ``crash_commit_at=e`` dies after epoch ``e`` executed
+    but before its COMMIT marker — recovery must discard and re-run the
+    fully-executed epoch.
+    """
+
+    def __init__(
+        self,
+        path,
+        *,
+        crash_append_at: int | None = None,
+        crash_commit_at: int | None = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(path, **kwargs)
+        self.crash_append_at = crash_append_at
+        self.crash_commit_at = crash_commit_at
+
+    def append_epoch(self, epoch, start, stop, kinds, keys) -> None:
+        if epoch == self.crash_append_at:
+            record = self.encode_ops(epoch, start, stop, kinds, keys)
+            self._write(record[: max(1, len(record) // 3)])
+            raise SimulatedCrash(f"hard crash mid-append of epoch {epoch}")
+        super().append_epoch(epoch, start, stop, kinds, keys)
+
+    def commit(self, epoch, start, stop) -> None:
+        if epoch == self.crash_commit_at:
+            raise SimulatedCrash(f"hard crash before commit of epoch {epoch}")
+        super().commit(epoch, start, stop)
+
+
+# ---------------------------------------------------------------------------
+# The chaos harness
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """One scheduled crash: at a journal boundary or a backend op index."""
+
+    kind: str  # "journal-append" | "journal-commit" | "backend-op"
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}@{self.index}"
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    point: CrashPoint
+    crashed: bool
+    replayed_epochs: int
+    discarded_ops: int
+    retries: int
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """One golden run + one verified recovery per crash point."""
+
+    outcomes: list[ChaosOutcome]
+    epochs: int
+    backend_ops: int
+
+    @property
+    def points(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def crashes(self) -> int:
+        return sum(1 for o in self.outcomes if o.crashed)
+
+    @property
+    def retries(self) -> int:
+        return sum(o.retries for o in self.outcomes)
+
+
+@dataclass(frozen=True)
+class _Golden:
+    cluster: tuple
+    shards: list[tuple]
+    blocks: dict
+    memory_items: frozenset
+    sizes: list[int]
+    peak: int
+    found: np.ndarray
+
+
+def _ledger_tuple(snap) -> tuple:
+    return (snap.reads, snap.writes, snap.combined, snap.allocations)
+
+
+def _drive(
+    svc: DictionaryService,
+    kinds: np.ndarray,
+    keys: np.ndarray,
+    window: int,
+    start: int = 0,
+) -> None:
+    """Submit the trace window by window, aligned to the global grid.
+
+    Alignment is what makes recovery bit-identical: epochs cannot span
+    ``run()`` calls, so a resumed client must cut its windows at the
+    same global positions the original client did.
+    """
+    n = len(kinds)
+    pos = start
+    while pos < n:
+        hi = min(n, (pos // window + 1) * window)
+        svc.run(kinds[pos:hi], keys[pos:hi])
+        pos = hi
+
+
+def _observe(svc: DictionaryService, probe_keys: np.ndarray) -> _Golden:
+    """Capture every compared observable; ledgers before the probes."""
+    cluster = _ledger_tuple(svc.io_snapshot())
+    shards = [_ledger_tuple(s) for s in svc.shard_io_snapshots()]
+    layout = svc.layout_snapshot()
+    sizes = svc.shard_sizes()
+    peak = svc.memory_high_water()
+    probe = svc.run(
+        np.ones(len(probe_keys), dtype=np.uint8), probe_keys  # all lookups
+    )
+    return _Golden(
+        cluster=cluster,
+        shards=shards,
+        blocks=dict(layout.blocks),
+        memory_items=layout.memory_items,
+        sizes=sizes,
+        peak=peak,
+        found=probe.lookup_found.copy(),
+    )
+
+
+def _compare(golden: _Golden, got: _Golden, point: CrashPoint) -> None:
+    checks = [
+        ("cluster ledger", golden.cluster, got.cluster),
+        ("shard ledgers", golden.shards, got.shards),
+        ("layout blocks", golden.blocks, got.blocks),
+        ("memory items", golden.memory_items, got.memory_items),
+        ("shard sizes", golden.sizes, got.sizes),
+        ("memory peak", golden.peak, got.peak),
+    ]
+    for what, want, have in checks:
+        if want != have:
+            raise AssertionError(
+                f"[{point}] recovered {what} diverged:\n  want {want}\n  have {have}"
+            )
+    if not np.array_equal(golden.found, got.found):
+        diff = int(np.sum(golden.found != got.found))
+        raise AssertionError(
+            f"[{point}] recovered lookup results diverged on {diff} probe keys"
+        )
+
+
+def run_crash_matrix(
+    make_service: Callable[[], DictionaryService],
+    kinds: np.ndarray,
+    keys: np.ndarray,
+    *,
+    window: int,
+    sample_ops: int = 8,
+    seed: int = 0,
+    fault_sites: int = 3,
+    fault_burst: int = 2,
+    retry_policy: RetryPolicy | None = None,
+    workdir: str | Path | None = None,
+) -> ChaosReport:
+    """Crash everywhere, recover every time, assert bit-identity.
+
+    ``make_service`` must build a *fresh, identical, serial-executor*
+    service on every call (determinism of the comparison depends on
+    it).  The matrix covers every epoch's journal append and commit
+    boundary plus ``sample_ops`` seeded intra-epoch backend-op indices;
+    every leg also carries seeded transient read/write faults (bursts
+    within the retry budget) to prove healing leaves the accounting
+    untouched.
+    """
+    kinds = np.ascontiguousarray(kinds, dtype=np.uint8)
+    keys = np.ascontiguousarray(keys, dtype=np.uint64)
+    policy = retry_policy if retry_policy is not None else RetryPolicy()
+    if fault_burst > policy.max_retries:
+        raise ValueError(
+            f"fault_burst {fault_burst} exceeds the retry budget "
+            f"{policy.max_retries}; transient faults would not heal"
+        )
+    probe_keys = np.unique(keys)
+
+    # Golden uninterrupted run — wrapped with a pass-through injector so
+    # the same decorator stack is in place while we count backend ops.
+    golden_svc = make_service()
+    clock = FaultClock()
+    for sub in golden_svc._contexts:
+        sub.disk.backend = FaultInjectingBackend(sub.disk.backend, clock=clock)
+    _drive(golden_svc, kinds, keys, window)
+    backend_ops = clock.ops
+    epochs = golden_svc.epochs_run
+    golden = _observe(golden_svc, probe_keys)
+    golden_svc.close()
+
+    points = [
+        CrashPoint(kind, e)
+        for e in range(epochs)
+        for kind in ("journal-append", "journal-commit")
+    ]
+    if backend_ops > 0 and sample_ops > 0:
+        rng = np.random.default_rng(seed)
+        sampled = rng.choice(
+            np.arange(1, backend_ops + 1),
+            size=min(sample_ops, backend_ops),
+            replace=False,
+        )
+        points += [CrashPoint("backend-op", int(i)) for i in np.sort(sampled)]
+
+    own_workdir = workdir is None
+    workdir = Path(tempfile.mkdtemp(prefix="repro-chaos-")) if own_workdir else Path(workdir)
+    outcomes: list[ChaosOutcome] = []
+    try:
+        for k, point in enumerate(points):
+            leg = workdir / f"leg{k:03d}"
+            leg.mkdir(parents=True, exist_ok=True)
+            snap, jpath = leg / "snapshot.pkl", leg / "journal.bin"
+
+            svc = make_service()
+            snapshot_service(svc, snap)  # the t=0 checkpoint
+            schedule = FaultSchedule.sample(
+                seed + 1000 + k,
+                backend_ops,
+                read_sites=fault_sites,
+                write_sites=fault_sites,
+                burst=fault_burst,
+                crash_at_op=point.index if point.kind == "backend-op" else None,
+            )
+            leg_clock = FaultClock()
+            retriers = []
+            for sub in svc._contexts:
+                faulty = FaultInjectingBackend(
+                    sub.disk.backend, clock=leg_clock, schedule=schedule
+                )
+                retrier = RetryingBackend(faulty, policy=policy, sleep=lambda s: None)
+                sub.disk.backend = retrier
+                retriers.append(retrier)
+            if point.kind == "journal-append":
+                svc.journal = CrashingJournal(jpath, crash_append_at=point.index)
+            elif point.kind == "journal-commit":
+                svc.journal = CrashingJournal(jpath, crash_commit_at=point.index)
+            else:
+                svc.journal = EpochJournal(jpath)
+
+            crashed = False
+            try:
+                _drive(svc, kinds, keys, window)
+            except SimulatedCrash:
+                crashed = True
+            retries = sum(r.retries for r in retriers)
+            svc.journal.close()
+            svc.close()
+            del svc  # the dead process: never consulted again
+
+            rep = recover(snap, jpath, executor="serial")
+            _drive(rep.service, kinds, keys, window, start=rep.committed_through)
+            got = _observe(rep.service, probe_keys)
+            _compare(golden, got, point)
+            rep.service.journal.close()
+            rep.service.close()
+            outcomes.append(
+                ChaosOutcome(
+                    point=point,
+                    crashed=crashed,
+                    replayed_epochs=rep.replayed_epochs,
+                    discarded_ops=rep.discarded_ops,
+                    retries=retries,
+                )
+            )
+    finally:
+        if own_workdir:
+            shutil.rmtree(workdir, ignore_errors=True)
+    return ChaosReport(outcomes=outcomes, epochs=epochs, backend_ops=backend_ops)

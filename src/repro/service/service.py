@@ -41,7 +41,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-from ..em.errors import ConfigurationError
+from ..em.errors import ConfigurationError, StorageFault
 from ..em.iostats import IOSnapshot, IOStats
 from ..em.storage import EMContext
 from ..hashing.base import HashFunction
@@ -49,8 +49,9 @@ from ..hashing.family import MULTIPLY_SHIFT
 from ..tables.base import ExternalDictionary, LayoutSnapshot, TableStats
 from ..tables.batching import partition_positions
 from ..tables.sharded import ShardFactory, _ROUTER_SEED, shard_view
-from ..workloads.trace import Op, encode_ops
+from ..workloads.trace import OP_DELETE, OP_INSERT, OP_LOOKUP, Op, encode_ops
 from .epochs import Epoch, build_epochs
+from .journal import EpochJournal
 
 __all__ = [
     "DictionaryService",
@@ -218,6 +219,12 @@ class DictionaryService:
         Shard-of-key hash; the fixed-seed multiply-shift default matches
         the sharded router's, so a service over N shards stores keys
         exactly where a :class:`ShardedDictionary` over N shards would.
+    journal:
+        Optional :class:`~repro.service.journal.EpochJournal`.  When
+        set, every epoch's encoded ops are durably appended *before*
+        execution and fsync-marked committed *after* the ledger merge,
+        so :func:`repro.service.recovery.recover` can rebuild the exact
+        service state from the last snapshot plus the committed suffix.
     """
 
     def __init__(
@@ -230,6 +237,7 @@ class DictionaryService:
         epoch_ops: int = 8192,
         router: HashFunction | None = None,
         name: str | None = None,
+        journal: EpochJournal | None = None,
     ) -> None:
         if shards <= 0:
             raise ConfigurationError(f"shard count must be positive, got {shards}")
@@ -260,6 +268,10 @@ class DictionaryService:
         # shard_io_snapshots() (construction belongs to no epoch).
         self._merge_ledgers()
         self.epochs_run = 0
+        self.journal = journal
+        #: Global stream position of the last committed epoch's ``stop``
+        #: — how far into the client's trace durable state extends.
+        self.ops_committed = 0
 
     # -- request execution --------------------------------------------------
 
@@ -275,8 +287,24 @@ class DictionaryService:
         lookup_found = np.zeros(n, dtype=bool)
         delete_removed = np.zeros(n, dtype=bool)
         reports: list[EpochReport] = []
+        # Every previous run() committed all of its epochs before
+        # returning, so the committed position is also this call's
+        # global stream offset.
+        base = self.ops_committed
         for epoch in build_epochs(kinds, keys, max_ops=self.epoch_ops):
+            idx = self.epochs_run
+            if self.journal is not None:
+                self.journal.append_epoch(
+                    idx,
+                    base + epoch.start,
+                    base + epoch.stop,
+                    kinds[epoch.start : epoch.stop],
+                    keys[epoch.start : epoch.stop],
+                )
             reports.append(self._run_epoch(epoch, lookup_found, delete_removed))
+            if self.journal is not None:
+                self.journal.commit(idx, base + epoch.start, base + epoch.stop)
+            self.ops_committed = base + epoch.stop
         return ServiceRun(
             ops=n,
             lookup_found=lookup_found,
@@ -288,6 +316,51 @@ class DictionaryService:
         """Convenience: execute a :class:`~repro.workloads.trace.Op` list."""
         kinds, keys = encode_ops(ops)
         return self.run(kinds, keys)
+
+    def replay_epoch(
+        self, start: int, stop: int, kinds: np.ndarray, keys: np.ndarray
+    ) -> EpochReport:
+        """Re-execute one journaled epoch during recovery.
+
+        The journal recorded exactly one conflict-free epoch per OPS
+        record, so the slice is executed as a single epoch verbatim —
+        no re-segmentation — and is *not* re-journaled (it is already
+        durable).  Charges the same I/O as the original execution.
+        """
+        if stop - start != len(kinds):
+            raise ConfigurationError(
+                f"journal record [{start}, {stop}) does not match "
+                f"{len(kinds)} replayed ops"
+            )
+        kinds = np.ascontiguousarray(kinds, dtype=np.uint8)
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        n = len(kinds)
+        lookup_pos = np.flatnonzero(kinds == OP_LOOKUP)
+        delete_pos = np.flatnonzero(kinds == OP_DELETE)
+        epoch = Epoch(
+            start=0,
+            stop=n,
+            insert_keys=keys[kinds == OP_INSERT],
+            lookup_keys=keys[lookup_pos],
+            lookup_pos=lookup_pos,
+            delete_keys=keys[delete_pos],
+            delete_pos=delete_pos,
+        )
+        report = self._run_epoch(
+            epoch, np.zeros(n, dtype=bool), np.zeros(n, dtype=bool)
+        )
+        self.ops_committed = stop
+        return report
+
+    def snapshot(self, path) -> None:
+        """Checkpoint the full service state to ``path`` (atomic).
+
+        Thin wrapper over :func:`repro.service.recovery.snapshot_service`
+        (local import: recovery builds on this module).
+        """
+        from .recovery import snapshot_service
+
+        snapshot_service(self, path)
 
     def _run_epoch(
         self,
@@ -310,10 +383,13 @@ class DictionaryService:
             slot[3], slot[4] = arr, pos
         shard_order = sorted(work)
         thunks = [
-            self._shard_thunk(self._tables[shard], work[shard])
+            self._shard_thunk(self._tables[shard], work[shard], shard)
             for shard in shard_order
         ]
-        results = self.executor.run(thunks)
+        try:
+            results = self.executor.run(thunks)
+        except StorageFault as exc:
+            raise type(exc)(f"epoch {self.epochs_run}: {exc}") from exc
         for shard, (del_res, look_res) in zip(shard_order, results):
             _, _, dpos, _, lpos = work[shard]
             if del_res is not None:
@@ -333,17 +409,22 @@ class DictionaryService:
         )
 
     @staticmethod
-    def _shard_thunk(table: ExternalDictionary, slot: list) -> Callable[[], tuple]:
+    def _shard_thunk(
+        table: ExternalDictionary, slot: list, shard: int
+    ) -> Callable[[], tuple]:
         ins, dels, _, looks, _ = slot
 
         def thunk() -> tuple:
             # Fixed kind order per shard: insert -> delete -> lookup.
             # The epoch builder guarantees no key crosses kinds inside
             # an epoch, so this order is observationally program order.
-            if ins is not None and len(ins):
-                table.insert_batch(ins)
-            del_res = table.delete_batch(dels) if dels is not None else None
-            look_res = table.lookup_batch(looks) if looks is not None else None
+            try:
+                if ins is not None and len(ins):
+                    table.insert_batch(ins)
+                del_res = table.delete_batch(dels) if dels is not None else None
+                look_res = table.lookup_batch(looks) if looks is not None else None
+            except StorageFault as exc:
+                raise type(exc)(f"shard {shard}: {exc}") from exc
             return del_res, look_res
 
         return thunk

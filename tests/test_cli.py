@@ -68,3 +68,55 @@ class TestCommands:
 
     def test_trace_unknown_table(self, capsys):
         assert main(["trace", "--table", "nope", "--n", "10"]) == 2
+
+
+class TestServe:
+    ARGS = ["serve", "--b", "32", "--m", "256", "--n", "600", "--window", "200",
+            "--epoch-ops", "128"]
+
+    def test_serve_small(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "kops" in out and "cluster I/O" in out
+
+    def test_mix_must_sum_to_one(self, capsys):
+        assert main(self.ARGS + ["--mix", "0.5", "0.4", "0.2", "0.1"]) == 2
+        err = capsys.readouterr().err
+        assert "--mix must sum to 1.0" in err
+        assert "Traceback" not in err
+
+    def test_mix_must_be_non_negative(self, capsys):
+        assert main(self.ARGS + ["--mix", "1.2", "-0.2", "0", "0"]) == 2
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_epoch_ops_must_be_positive(self, capsys):
+        args = [a for a in self.ARGS if a not in ("--epoch-ops", "128")]
+        assert main(args + ["--epoch-ops", "0"]) == 2
+        assert "--epoch-ops must be positive" in capsys.readouterr().err
+
+    def test_window_must_be_positive(self, capsys):
+        args = [a for a in self.ARGS if a not in ("--window", "200")]
+        assert main(args + ["--window", "-3"]) == 2
+        assert "--window must be positive" in capsys.readouterr().err
+
+
+class TestRecover:
+    def test_serve_then_recover_round_trip(self, tmp_path, capsys):
+        snap, journal = str(tmp_path / "s.pkl"), str(tmp_path / "j.bin")
+        assert main(["serve", "--b", "32", "--m", "256", "--n", "600",
+                     "--window", "200", "--epoch-ops", "128",
+                     "--backend", "durable-arena",
+                     "--journal", journal, "--snapshot", snap]) == 0
+        serve_out = capsys.readouterr().out
+        assert "epochs committed" in serve_out
+        assert main(["recover", "--snapshot", snap, "--journal", journal]) == 0
+        out = capsys.readouterr().out
+        assert "replayed_epochs" in out
+        # The recovered cluster I/O line equals the served one.
+        served = [l for l in serve_out.splitlines() if l.startswith("cluster I/O")]
+        recovered = [l for l in out.splitlines() if l.startswith("cluster I/O")]
+        assert served == recovered
+
+    def test_recover_missing_snapshot(self, tmp_path, capsys):
+        assert main(["recover", "--snapshot", str(tmp_path / "nope.pkl")]) == 2
+        assert "recover:" in capsys.readouterr().err

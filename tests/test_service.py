@@ -318,6 +318,37 @@ def test_weighted_percentile_exact():
     assert _weighted_percentile([], 50) == 0.0
 
 
+def test_weighted_percentile_tiny_samples():
+    # Degenerate samples must stay well-defined: a single pair is every
+    # percentile; zero mass is 0.0; q is clamped into [0, 100].
+    assert _weighted_percentile([(0.25, 1)], 50) == 0.25
+    assert _weighted_percentile([(0.25, 1)], 99) == 0.25
+    assert _weighted_percentile([(0.25, 1)], 0) == 0.25
+    assert _weighted_percentile([(0.25, 0)], 99) == 0.0
+    assert _weighted_percentile([(0.1, 0), (0.2, 3)], 50) == 0.2
+    assert _weighted_percentile([(0.5, 2)], -5) == 0.5
+    assert _weighted_percentile([(0.5, 2)], 150) == 0.5
+
+
+def test_client_tiny_runs_report_sane_percentiles():
+    ctx = make_context(b=32, m=512, backend="arena", hard_memory=False)
+    with DictionaryService(ctx, _buffered, shards=2) as svc:
+        client = ClosedLoopClient(svc, window=64)
+        empty = client.drive(
+            np.zeros(0, dtype=np.uint8), np.zeros(0, dtype=np.uint64)
+        )
+        assert empty.ops == 0 and empty.epochs == 0
+        assert empty.p50_ms == empty.p99_ms == empty.max_ms == 0.0
+        assert empty.kops == 0.0 and empty.amortized_io == 0.0
+        one = client.drive(
+            np.array([OP_INSERT], dtype=np.uint8),
+            np.array([12345], dtype=np.uint64),
+        )
+        assert one.ops == 1 and one.epochs == 1
+        assert 0 <= one.p50_ms == one.p99_ms == one.max_ms
+        assert np.isfinite(one.p50_ms) and np.isfinite(one.kops)
+
+
 def test_client_reports_mix_and_latencies():
     gen = UniformKeys(10**12, seed=41)
     wl = BulkMixedWorkload(gen, mix=(0.3, 0.55, 0.05, 0.1), seed=4, chunk=512)
