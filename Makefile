@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: help test test-fast chaos-test bench service-bench bench-all clean
+.PHONY: help test test-fast chaos-test overload-test bench service-bench slo-bench bench-all clean
 
 ## Print the entry points (tier-1 invocation included).
 help:
@@ -12,8 +12,10 @@ help:
 	@echo "                     (includes the crash-recovery chaos suite)"
 	@echo "  make test-fast     quick subset: tables + parity + EM layer"
 	@echo "  make chaos-test    crash-point matrix only: journal/recovery/fault-injection"
+	@echo "  make overload-test open-loop traffic + admission/shedding/breaker invariants"
 	@echo "  make bench         scalar-vs-batch + backend x shards perf rows -> BENCH_throughput.json"
 	@echo "  make service-bench mixed-op service rows (incl. durable+journal leg) -> BENCH_service.json"
+	@echo "  make slo-bench     latency vs offered load sweep + breaker chaos -> BENCH_service.json"
 	@echo "  make bench-all     every paper-artifact benchmark (slow)"
 	@echo "  make clean         remove caches"
 
@@ -34,6 +36,14 @@ chaos-test:
 	$(PY) -m pytest tests/test_recovery.py tests/test_faults.py \
 	    tests/test_journal.py tests/test_durable_backend.py -q
 
+## Overload resilience only: seeded arrival processes, the admission
+## queue + reject/shed/adapt policies, per-op deadlines, per-shard
+## circuit breakers, the shedding-disabled bit-identity contract, and
+## the overload chaos harness (fault bursts under saturation).  Fast
+## (small n) and also part of `make test`.
+overload-test:
+	$(PY) -m pytest tests/test_traffic.py tests/test_overload.py -q
+
 ## Perf trajectory: scalar-vs-batch throughput plus the backend x shards
 ## sweep (mapping/arena x 1/8 shards; I/O totals asserted backend-invariant
 ## under both policies).  Rows land in BENCH_throughput.json
@@ -51,6 +61,15 @@ bench:
 service-bench:
 	$(PY) -m pytest benchmarks/bench_throughput.py::test_service_mixed_throughput \
 	    --benchmark-only -s -q --benchmark-json=BENCH_service.json
+
+## SLO axis: the open-loop latency-vs-offered-load sweep (calibrated
+## capacity, shed-policy rows at 0.5x-2.5x, the deadline degradation
+## leg, the knee/max-sustainable-goodput gate, and the breaker chaos
+## row).  Also writes BENCH_service.json (headline numbers land in
+## extra_info under test_service_slo_sweep).
+slo-bench:
+	$(PY) -m pytest benchmarks/bench_service_slo.py --benchmark-only -s -q \
+	    --benchmark-json=BENCH_service.json
 
 ## Every paper-artifact benchmark (slow; prints the reproduced tables).
 bench-all:

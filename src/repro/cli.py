@@ -8,11 +8,17 @@ code:
 * ``baselines`` — run the one-workload structure comparison.
 * ``audit``     — zone-decompose and certify the built-in tables.
 * ``trace``     — replay a mixed workload against a chosen table.
-* ``serve``     — drive the dictionary service with a closed-loop
-  client over a mixed request stream (throughput + latency percentiles),
-  optionally journaled (``--journal``) and checkpointed (``--snapshot``).
+* ``serve``     — drive the dictionary service over a mixed request
+  stream: closed-loop by default, or open-loop (``--arrival poisson |
+  diurnal | bursty`` + ``--rate``) with a bounded admission queue
+  (``--queue-depth``), per-op deadlines (``--deadline``) and a shedding
+  policy (``--shed-policy``); optionally journaled (``--journal``) and
+  checkpointed (``--snapshot``).
 * ``recover``   — rebuild a crashed ``serve`` run from its snapshot +
   journal and report what was replayed.
+* ``slo``       — sweep open-loop offered load across the capacity knee
+  and report goodput, queueing-inclusive p99, and the max sustainable
+  rate under a p99 SLO.
 
 Every command accepts ``--b``, ``--m``, ``--n`` to change the model
 geometry, plus the system axes ``--backend`` (storage backend behind
@@ -33,7 +39,14 @@ from .analysis.tradeoff_curves import format_rows, render_figure1
 from .baselines.btree import BTree
 from .baselines.lsm import LSMTree
 from .core.buffered import BufferedHashTable
-from .core.config import BufferedParams, StorageConfig
+from .core.config import (
+    ARRIVAL_KINDS,
+    OVERLOAD_POLICIES,
+    BufferedParams,
+    StorageConfig,
+    TrafficConfig,
+)
+from .em.errors import ConfigurationError
 from .core.jensen_pagh import JensenPaghTable
 from .core.logmethod import LogMethodHashTable
 from .core.tradeoff import figure1_curves
@@ -68,6 +81,41 @@ def _add_geometry(parser: argparse.ArgumentParser) -> None:
 def _storage(args) -> StorageConfig:
     """Validate and bundle the system axes of a CLI invocation."""
     return StorageConfig(backend=args.backend, shards=args.shards)
+
+
+def _add_traffic(parser: argparse.ArgumentParser) -> None:
+    """The load-model axes of `serve` (closed-loop by default)."""
+    parser.add_argument(
+        "--arrival",
+        choices=list(ARRIVAL_KINDS),
+        default="closed",
+        help="load model: closed-loop client, or an open-loop arrival process",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="mean offered load in ops/sec (open-loop arrivals only)",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        help="bound the admission queue (open-loop; default unbounded)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-op queueing deadline in virtual seconds (open-loop)",
+    )
+    parser.add_argument(
+        "--shed-policy",
+        choices=list(OVERLOAD_POLICIES),
+        default="reject",
+        help="overload policy once the queue passes its high-water mark",
+    )
 
 
 def _table_factories(args) -> dict[str, Callable]:
@@ -202,6 +250,16 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _traffic(args) -> TrafficConfig:
+    return TrafficConfig(
+        arrival=args.arrival,
+        rate=args.rate,
+        queue_depth=args.queue_depth,
+        deadline_s=args.deadline,
+        shed_policy=args.shed_policy,
+    )
+
+
 def _validate_serve(args) -> str | None:
     """Reject malformed service inputs with a message, not a traceback."""
     mix_sum = sum(args.mix)
@@ -213,17 +271,29 @@ def _validate_serve(args) -> str | None:
         return f"--epoch-ops must be positive, got {args.epoch_ops}"
     if args.window <= 0:
         return f"--window must be positive, got {args.window}"
+    try:
+        _traffic(args)
+    except ConfigurationError as exc:
+        return str(exc)
     return None
 
 
 def cmd_serve(args) -> int:
-    from .service import ClosedLoopClient, DictionaryService, EpochJournal
+    from .service import (
+        AdmissionController,
+        ClosedLoopClient,
+        DictionaryService,
+        EpochJournal,
+        OpenLoopClient,
+        make_arrivals,
+    )
     from .workloads.trace import BulkMixedWorkload
 
     error = _validate_serve(args)
     if error is not None:
         print(f"serve: {error}", file=sys.stderr)
         return 2
+    traffic = _traffic(args)
     factories = _base_factories(args)
     if args.table not in factories:
         print(f"unknown table {args.table!r}; choose from {sorted(factories)}")
@@ -249,8 +319,21 @@ def cmd_serve(args) -> int:
             # The t=0 checkpoint: `repro recover` rebuilds the final
             # state from it plus the journal's committed epochs.
             svc.snapshot(args.snapshot)
-        report = ClosedLoopClient(svc, window=args.window).drive(kinds, keys)
-        print(format_rows([dict(report.row(), executor=args.executor,
+        if traffic.open_loop:
+            client = OpenLoopClient(
+                svc,
+                make_arrivals(traffic.arrival, traffic.rate, seed=args.seed + 2),
+                controller=AdmissionController(
+                    queue_depth=traffic.queue_depth,
+                    policy=traffic.shed_policy,
+                    deadline_s=traffic.deadline_s,
+                ),
+            )
+            report = client.drive(kinds, keys)
+        else:
+            report = ClosedLoopClient(svc, window=args.window).drive(kinds, keys)
+        print(format_rows([dict(report.row(), arrival=traffic.arrival,
+                                executor=args.executor,
                                 shards=args.shards, backend=args.backend)]))
         io = svc.io_snapshot()
         print(f"\ncluster I/O: {io.reads + io.writes} "
@@ -261,6 +344,97 @@ def cmd_serve(args) -> int:
             print(f"journal: {journal.committed_epochs} epochs committed, "
                   f"{journal.bytes_written} bytes -> {args.journal}")
             journal.close()
+    return 0
+
+
+def _validate_slo(args) -> str | None:
+    mix_sum = sum(args.mix)
+    if any(w < 0 for w in args.mix):
+        return f"--mix weights must be non-negative, got {args.mix}"
+    if abs(mix_sum - 1.0) > 1e-6:
+        return f"--mix must sum to 1.0, got {args.mix} (sum {mix_sum:.6g})"
+    if args.epoch_ops <= 0:
+        return f"--epoch-ops must be positive, got {args.epoch_ops}"
+    if not args.loads or any(not f > 0 for f in args.loads):
+        return f"--loads factors must be positive, got {args.loads}"
+    if args.queue_depth is not None and args.queue_depth <= 0:
+        return f"--queue-depth must be positive, got {args.queue_depth}"
+    if args.deadline is not None and not args.deadline > 0:
+        return f"--deadline must be positive, got {args.deadline}"
+    if not args.slo_ms > 0:
+        return f"--slo-ms must be positive, got {args.slo_ms}"
+    if args.shed_policy not in OVERLOAD_POLICIES:
+        return f"--shed-policy must be one of {OVERLOAD_POLICIES}"
+    return None
+
+
+def cmd_slo(args) -> int:
+    """Latency-vs-offered-load sweep across the capacity knee."""
+    from .service import (
+        AdmissionController,
+        ClosedLoopClient,
+        DictionaryService,
+        OpenLoopClient,
+        make_arrivals,
+    )
+    from .workloads.trace import BulkMixedWorkload
+
+    error = _validate_slo(args)
+    if error is not None:
+        print(f"slo: {error}", file=sys.stderr)
+        return 2
+    factories = _base_factories(args)
+    if args.table not in factories:
+        print(f"unknown table {args.table!r}; choose from {sorted(factories)}")
+        return 2
+    storage = _storage(args)
+
+    def make_service():
+        ctx = make_context(b=args.b, m=args.m, u=2**40, backend=storage.backend)
+        return DictionaryService(
+            ctx, factories[args.table], shards=args.shards,
+            epoch_ops=args.epoch_ops,
+        )
+
+    wl = BulkMixedWorkload(
+        UniformKeys(2**40, args.seed),
+        mix=tuple(args.mix),
+        seed=args.seed + 1,
+        chunk=args.epoch_ops,
+    )
+    kinds, keys = wl.take_arrays(args.n)
+
+    # Calibrate: the closed-loop run measures capacity; its rate becomes
+    # the sweep's deterministic service model and the x-axis unit.
+    with make_service() as svc:
+        base = ClosedLoopClient(svc, window=args.epoch_ops).drive(kinds, keys)
+    service_rate = base.ops / base.seconds if base.seconds else 1.0
+
+    rows = []
+    sustainable = 0.0
+    for factor in args.loads:
+        with make_service() as svc:
+            client = OpenLoopClient(
+                svc,
+                make_arrivals(
+                    args.arrival, factor * service_rate, seed=args.seed + 2
+                ),
+                controller=AdmissionController(
+                    queue_depth=args.queue_depth,
+                    policy=args.shed_policy,
+                    deadline_s=args.deadline,
+                ),
+                service_rate=service_rate,
+            )
+            rep = client.drive(kinds, keys)
+        ok = rep.p99_ms <= args.slo_ms
+        if ok:
+            sustainable = max(sustainable, rep.goodput_kops)
+        rows.append(dict({"load_x": factor}, **rep.row(), slo_ok=ok))
+    print(format_rows(rows))
+    print(f"\nclosed-loop capacity: {base.kops:.1f} kops; "
+          f"max sustainable goodput at p99 <= {args.slo_ms:g} ms: "
+          f"{sustainable:.1f} kops")
     return 0
 
 
@@ -353,7 +527,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="epoch write-ahead journal file (enables durability)")
     p.add_argument("--snapshot", default=None, metavar="PATH",
                    help="write a t=0 service checkpoint before driving")
+    _add_traffic(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "slo", help="open-loop offered-load sweep against a p99 SLO"
+    )
+    _add_geometry(p)
+    p.add_argument("--table", default="buffered")
+    p.add_argument(
+        "--mix",
+        type=float,
+        nargs=4,
+        default=[0.25, 0.60, 0.10, 0.05],
+        metavar=("INS", "HIT", "MISS", "DEL"),
+        help="op-mix weights (insert, hit-lookup, miss-lookup, delete)",
+    )
+    p.add_argument("--epoch-ops", type=int, default=8192,
+                   help="max ops coalesced into one epoch")
+    p.add_argument(
+        "--arrival",
+        choices=[k for k in ARRIVAL_KINDS if k != "closed"],
+        default="poisson",
+        help="open-loop arrival process for the sweep",
+    )
+    p.add_argument(
+        "--loads",
+        type=float,
+        nargs="+",
+        default=[0.5, 0.8, 1.0, 1.2, 1.5, 2.0],
+        metavar="X",
+        help="offered-load factors relative to measured closed-loop capacity",
+    )
+    p.add_argument("--queue-depth", type=int, default=8192,
+                   help="admission queue bound (ops)")
+    p.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="per-op queueing deadline in virtual seconds")
+    p.add_argument("--shed-policy", choices=list(OVERLOAD_POLICIES),
+                   default="shed", help="overload policy past the high-water mark")
+    p.add_argument("--slo-ms", type=float, default=50.0,
+                   help="p99 latency SLO in milliseconds")
+    p.set_defaults(func=cmd_slo)
 
     p = sub.add_parser(
         "recover", help="rebuild a service from a snapshot + journal"

@@ -94,6 +94,82 @@ class DurabilityConfig:
             )
 
 
+#: Load-model names the CLI accepts: the closed-loop client plus the
+#: open-loop arrival processes (:data:`repro.service.traffic.ARRIVALS`).
+ARRIVAL_KINDS = ("closed", "poisson", "diurnal", "bursty")
+
+#: Overload policies (:data:`repro.service.admission.SHED_POLICIES`).
+OVERLOAD_POLICIES = ("reject", "shed", "adapt")
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Knobs of the load model a service run is driven under.
+
+    Attributes
+    ----------
+    arrival:
+        ``"closed"`` (closed-loop client: offered load adapts to
+        service speed) or an open-loop arrival process name —
+        ``"poisson"``, ``"diurnal"``, ``"bursty"``.
+    rate:
+        Mean offered load in ops/sec (open-loop only; required there).
+    queue_depth:
+        Bound on the admission queue (open-loop; ``None`` = unbounded).
+    deadline_s:
+        Per-op queueing deadline in virtual seconds (open-loop;
+        ``None`` = none).  Expired ops are accounted, never executed.
+    shed_policy:
+        What happens past the high-water mark: ``"reject"`` new work,
+        ``"shed"`` lowest-priority queued work, or ``"adapt"`` the
+        dispatch batch down to drain faster.
+    """
+
+    arrival: str = "closed"
+    rate: float | None = None
+    queue_depth: int | None = None
+    deadline_s: float | None = None
+    shed_policy: str = "reject"
+
+    def __post_init__(self) -> None:
+        if self.arrival not in ARRIVAL_KINDS:
+            raise ConfigurationError(
+                f"unknown arrival kind {self.arrival!r}; "
+                f"choose from {ARRIVAL_KINDS}"
+            )
+        if self.shed_policy not in OVERLOAD_POLICIES:
+            raise ConfigurationError(
+                f"unknown shed policy {self.shed_policy!r}; "
+                f"choose from {OVERLOAD_POLICIES}"
+            )
+        if self.open_loop:
+            if self.rate is None or not self.rate > 0:
+                raise ConfigurationError(
+                    f"open-loop traffic needs a positive --rate, got {self.rate}"
+                )
+        elif (
+            self.rate is not None
+            or self.queue_depth is not None
+            or self.deadline_s is not None
+        ):
+            raise ConfigurationError(
+                "--rate/--queue-depth/--deadline only apply to open-loop "
+                "arrivals (closed-loop load adapts to service speed)"
+            )
+        if self.queue_depth is not None and self.queue_depth <= 0:
+            raise ConfigurationError(
+                f"queue_depth must be positive, got {self.queue_depth}"
+            )
+        if self.deadline_s is not None and not self.deadline_s > 0:
+            raise ConfigurationError(
+                f"deadline_s must be positive, got {self.deadline_s}"
+            )
+
+    @property
+    def open_loop(self) -> bool:
+        return self.arrival != "closed"
+
+
 @dataclass(frozen=True)
 class BufferedParams:
     """Parameters of the Theorem 2 construction.

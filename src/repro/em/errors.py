@@ -53,6 +53,16 @@ class RetryExhausted(StorageFault):
     """
 
 
+class ServiceOverloadError(EMError):
+    """The admission queue is full and the policy refuses new work.
+
+    Raised (in strict mode) or accounted as a ``rejected`` outcome by
+    :class:`repro.service.admission.AdmissionController` when offered
+    load exceeds capacity and back-pressure is configured to reject
+    rather than shed — the service's explicit "try again later".
+    """
+
+
 class SimulatedCrash(EMError):
     """A scheduled hard crash point fired (fault-injection harness).
 

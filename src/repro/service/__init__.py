@@ -8,31 +8,53 @@ Turns the reproduction's dictionaries into a servable system:
   each epoch over N private shard machines through a pluggable
   ``serial`` / ``threads`` executor, with per-shard I/O ledgers merged
   at epoch close (parallel runs bit-identical to serial);
-* :mod:`repro.service.client` — a closed-loop client simulator
-  reporting throughput and per-op latency percentiles;
+* :mod:`repro.service.client` — closed-loop (capacity) and open-loop
+  (queueing-inclusive latency under offered load) client simulators;
+* :mod:`repro.service.traffic` — seeded virtual-clock arrival processes
+  (Poisson, diurnal, bursty) for the open-loop client;
+* :mod:`repro.service.admission` — the bounded admission queue and
+  reject/shed/adapt overload policies with per-op outcome accounting;
 * :mod:`repro.service.journal` — the epoch write-ahead journal
   (append-before-execute, fsync-commit-after-merge);
 * :mod:`repro.service.recovery` — snapshot/restore of a live service
   and snapshot+journal crash recovery;
 * :mod:`repro.service.faults` — deterministic fault injection,
-  retry-with-backoff healing, and the crash-recovery chaos harness.
+  retry-with-backoff healing, per-shard circuit breakers, and the
+  crash-recovery + overload chaos harnesses.
 
-See ``src/repro/service/README.md`` for the epoch/executor and
-durability guarantees.
+See ``src/repro/service/README.md`` for the epoch/executor, durability,
+and overload/SLO guarantees.
 """
 
-from .client import ClientReport, ClosedLoopClient
+from .admission import (
+    EXECUTED,
+    EXPIRED,
+    OUTCOME_NAMES,
+    PENDING,
+    REJECTED,
+    SHED,
+    SHED_POLICIES,
+    AdmissionController,
+    AdmissionQueue,
+)
+from .client import ClientReport, ClosedLoopClient, OpenLoopClient
 from .epochs import Epoch, build_epochs
 from .faults import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
     ChaosReport,
     CrashPoint,
     CrashingJournal,
     FaultClock,
     FaultInjectingBackend,
     FaultSchedule,
+    OverloadChaosReport,
     RetryPolicy,
     RetryingBackend,
+    ShardBreakerBoard,
     run_crash_matrix,
+    run_overload_chaos,
 )
 from .journal import EpochJournal, JournalRecord, JournalScan
 from .recovery import RecoveryReport, recover, restore_service, snapshot_service
@@ -46,12 +68,39 @@ from .service import (
     make_executor,
     service_shard_view,
 )
+from .traffic import (
+    ARRIVALS,
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    make_arrivals,
+)
 
 __all__ = [
     "ClientReport",
     "ClosedLoopClient",
+    "OpenLoopClient",
     "Epoch",
     "build_epochs",
+    "ARRIVALS",
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "PoissonArrivals",
+    "make_arrivals",
+    "EXECUTED",
+    "EXPIRED",
+    "PENDING",
+    "REJECTED",
+    "SHED",
+    "SHED_POLICIES",
+    "OUTCOME_NAMES",
+    "AdmissionController",
+    "AdmissionQueue",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
     "ChaosReport",
     "CrashPoint",
     "CrashingJournal",
@@ -61,12 +110,15 @@ __all__ = [
     "FaultSchedule",
     "JournalRecord",
     "JournalScan",
+    "OverloadChaosReport",
     "RecoveryReport",
     "RetryPolicy",
     "RetryingBackend",
+    "ShardBreakerBoard",
     "recover",
     "restore_service",
     "run_crash_matrix",
+    "run_overload_chaos",
     "snapshot_service",
     "DictionaryService",
     "EpochReport",

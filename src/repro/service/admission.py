@@ -1,0 +1,282 @@
+"""Admission control: the bounded queue between arrivals and epochs.
+
+When offered load exceeds capacity, *something* has to give.  This
+module makes that something explicit and accounted: every op submitted
+to an open-loop run ends in exactly one of five outcomes —
+
+* :data:`EXECUTED` — admitted, dispatched, ran through the service;
+* :data:`REJECTED` — refused at arrival because the queue was full and
+  the policy rejects (:class:`~repro.em.errors.ServiceOverloadError`
+  in strict mode);
+* :data:`SHED` — evicted from the queue (or refused at arrival) by the
+  load-shedding policy to make room for higher-priority work;
+* :data:`EXPIRED` — admitted but its per-op deadline passed before the
+  service got to it (``deadline_exceeded`` in reports);
+* :data:`PENDING` — not yet decided (transient; never in a final
+  report).
+
+**No silent loss**: ``executed + rejected + shed + expired == n`` is an
+invariant the tests and the chaos harness assert.
+
+The queue (:class:`AdmissionQueue`) holds op *indices* in program
+order, bucketed per op kind so the shedding policy can evict the
+oldest op of the most-sheddable kind in O(1).  Dispatch merges the
+kind buckets back into ascending-index order, so the executed subset
+is always a program-order subsequence of the offered stream — shedding
+only deletes ops, it never reorders them.
+
+Policies (:class:`AdmissionController`, ``--shed-policy``):
+
+* ``"reject"`` — arriving ops beyond the high-water mark are refused;
+  queued work is never touched.
+* ``"shed"`` — make room by evicting the oldest queued op of the first
+  kind in ``shed_order`` (default: lookups before inserts before
+  deletes).  If the arriving op's own kind sheds no later than the
+  best queued victim's, the arrival itself is shed instead — shedding
+  never evicts higher-priority work for lower.
+* ``"adapt"`` — admit everything the depth bound allows, but shrink
+  the dispatch batch (the effective ``epoch_ops``) while the queue is
+  above the high-water mark so the service turns around faster, and
+  grow it back once the queue drains below half the mark.  Overflow
+  beyond ``queue_depth`` still rejects (a bound is a bound).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..em.errors import ConfigurationError, ServiceOverloadError
+from ..workloads.trace import OP_DELETE, OP_INSERT, OP_LOOKUP
+
+__all__ = [
+    "EXECUTED",
+    "EXPIRED",
+    "PENDING",
+    "REJECTED",
+    "SHED",
+    "SHED_POLICIES",
+    "AdmissionController",
+    "AdmissionQueue",
+    "OUTCOME_NAMES",
+]
+
+#: Per-op outcome codes (``uint8``), final unless :data:`PENDING`.
+PENDING, EXECUTED, REJECTED, SHED, EXPIRED = 0, 1, 2, 3, 4
+
+OUTCOME_NAMES = {
+    PENDING: "pending",
+    EXECUTED: "executed",
+    REJECTED: "rejected",
+    SHED: "shed",
+    EXPIRED: "deadline_exceeded",
+}
+
+SHED_POLICIES = ("reject", "shed", "adapt")
+
+_KIND_CODES = (OP_INSERT, OP_LOOKUP, OP_DELETE)
+
+
+class AdmissionQueue:
+    """Program-order op queue with O(1) evict-oldest-of-kind.
+
+    Holds op indices bucketed per kind; each bucket is ascending (ops
+    are pushed in arrival = program order), so a k-way merge over the
+    bucket heads recovers global program order at dispatch time.
+    """
+
+    def __init__(self) -> None:
+        self._by_kind: dict[int, deque[int]] = {k: deque() for k in _KIND_CODES}
+        self._depth = 0
+
+    def __len__(self) -> int:
+        return self._depth
+
+    def push(self, index: int, kind: int) -> None:
+        self._by_kind[kind].append(index)
+        self._depth += 1
+
+    def evict_oldest(self, kind: int) -> int | None:
+        """Pop the oldest queued op of ``kind`` (None if the bucket is empty)."""
+        bucket = self._by_kind[kind]
+        if not bucket:
+            return None
+        self._depth -= 1
+        return bucket.popleft()
+
+    def oldest_of(self, kind: int) -> int | None:
+        bucket = self._by_kind[kind]
+        return bucket[0] if bucket else None
+
+    def peek_next(self) -> tuple[int, int] | None:
+        """The globally oldest op as ``(index, kind)``, without popping."""
+        best_kind = -1
+        best = None
+        for kind in _KIND_CODES:
+            bucket = self._by_kind[kind]
+            if bucket and (best is None or bucket[0] < best):
+                best = bucket[0]
+                best_kind = kind
+        return None if best is None else (best, best_kind)
+
+    def pop_next(self) -> tuple[int, int] | None:
+        """Pop the globally oldest op as ``(index, kind)`` (program order)."""
+        best_kind = -1
+        best = None
+        for kind in _KIND_CODES:
+            bucket = self._by_kind[kind]
+            if bucket and (best is None or bucket[0] < best):
+                best = bucket[0]
+                best_kind = kind
+        if best is None:
+            return None
+        self._by_kind[best_kind].popleft()
+        self._depth -= 1
+        return best, best_kind
+
+
+class AdmissionController:
+    """Bounded admission with a pluggable overload policy.
+
+    Parameters
+    ----------
+    queue_depth:
+        Maximum queued ops (``None`` = unbounded; with no deadline
+        either, the controller is *transparent* and the open-loop run
+        is bit-identical to ``run_trace`` — see
+        :class:`~repro.service.client.OpenLoopClient`).
+    policy:
+        One of :data:`SHED_POLICIES`.
+    shed_order:
+        Op kinds in shed-first order (default lookups, inserts,
+        deletes: reads are retryable, writes carry state).
+    deadline_s:
+        Per-op deadline on the virtual clock: an op still queued when
+        ``arrival + deadline_s`` passes is accounted :data:`EXPIRED`
+        at dispatch time (lazy expiry), never executed.
+    high_water:
+        Depth at which the policy engages (default ``queue_depth``).
+        Must satisfy ``0 < high_water <= queue_depth``.
+    strict:
+        With the ``reject`` policy, raise
+        :class:`~repro.em.errors.ServiceOverloadError` instead of
+        accounting the op — callers that prefer exceptions over
+        bookkeeping (the CLI keeps this off and reports counts).
+    min_batch:
+        Floor of the adaptive dispatch-batch shrink (``adapt`` policy).
+    """
+
+    def __init__(
+        self,
+        *,
+        queue_depth: int | None = None,
+        policy: str = "reject",
+        shed_order: tuple[int, ...] = (OP_LOOKUP, OP_INSERT, OP_DELETE),
+        deadline_s: float | None = None,
+        high_water: int | None = None,
+        strict: bool = False,
+        min_batch: int = 64,
+    ) -> None:
+        if queue_depth is not None and queue_depth <= 0:
+            raise ConfigurationError(
+                f"queue_depth must be positive (or None), got {queue_depth}"
+            )
+        if policy not in SHED_POLICIES:
+            raise ConfigurationError(
+                f"unknown shed policy {policy!r}; choose from {SHED_POLICIES}"
+            )
+        if sorted(shed_order) != sorted(_KIND_CODES):
+            raise ConfigurationError(
+                f"shed_order must be a permutation of {_KIND_CODES}, got {shed_order}"
+            )
+        if deadline_s is not None and not deadline_s > 0:
+            raise ConfigurationError(
+                f"deadline_s must be positive (or None), got {deadline_s}"
+            )
+        if high_water is None:
+            high_water = queue_depth
+        if queue_depth is not None and not 0 < high_water <= queue_depth:
+            raise ConfigurationError(
+                f"high_water must satisfy 0 < high_water <= queue_depth, "
+                f"got {high_water} vs {queue_depth}"
+            )
+        if min_batch <= 0:
+            raise ConfigurationError(f"min_batch must be positive, got {min_batch}")
+        self.queue_depth = queue_depth
+        self.policy = policy
+        self.shed_order = tuple(shed_order)
+        self.deadline_s = deadline_s
+        self.high_water = high_water
+        self.strict = strict
+        self.min_batch = min_batch
+        #: Priority rank per kind: lower rank sheds first.
+        self._rank = {kind: i for i, kind in enumerate(self.shed_order)}
+
+    @property
+    def transparent(self) -> bool:
+        """No bound, no deadline: admission can never refuse or expire."""
+        return self.queue_depth is None and self.deadline_s is None
+
+    # -- arrival side --------------------------------------------------------
+
+    def offer(
+        self, queue: AdmissionQueue, index: int, kind: int, outcomes: np.ndarray
+    ) -> None:
+        """Admit op ``index`` or resolve it per the overload policy.
+
+        Writes the op's outcome (and any shed victim's) into
+        ``outcomes``; admitted ops stay :data:`PENDING` until dispatch.
+        """
+        if self.queue_depth is None or len(queue) < self.high_water:
+            queue.push(index, kind)
+            return
+        if self.policy == "shed":
+            victim_kind = self._best_victim(queue)
+            if victim_kind is not None and self._rank[kind] > self._rank[victim_kind]:
+                victim = queue.evict_oldest(victim_kind)
+                outcomes[victim] = SHED
+                queue.push(index, kind)
+            else:
+                # The arrival itself is the most sheddable op in sight.
+                outcomes[index] = SHED
+            return
+        if self.policy == "adapt" and len(queue) < self.queue_depth:
+            # Adapt admits up to the hard bound; the dispatch batch
+            # shrink (batch_cap) is what relieves the pressure.
+            queue.push(index, kind)
+            return
+        if self.strict:
+            raise ServiceOverloadError(
+                f"admission queue full ({len(queue)} >= {self.high_water}); "
+                f"op {index} rejected"
+            )
+        outcomes[index] = REJECTED
+
+    def _best_victim(self, queue: AdmissionQueue) -> int | None:
+        """The kind whose oldest op sheds first, per ``shed_order``."""
+        for kind in self.shed_order:
+            if queue.oldest_of(kind) is not None:
+                return kind
+        return None
+
+    # -- dispatch side -------------------------------------------------------
+
+    def batch_cap(self, depth: int, epoch_ops: int, current: int) -> int:
+        """The dispatch-batch size for this round (``adapt`` shrinks it).
+
+        Halve while the queue sits above the high-water mark, double
+        back (capped at ``epoch_ops``) once it drains below half of it
+        — a deterministic AIMD-style governor on the virtual clock.
+        """
+        if self.policy != "adapt" or self.queue_depth is None:
+            return epoch_ops
+        if depth > self.high_water:
+            return max(self.min_batch, current // 2)
+        if depth < self.high_water // 2:
+            return min(epoch_ops, current * 2)
+        return current
+
+    def expired(self, arrival_s: float, now_s: float) -> bool:
+        """Has this op's deadline passed at would-be dispatch time ``now_s``?"""
+        return self.deadline_s is not None and now_s > arrival_s + self.deadline_s

@@ -47,6 +47,9 @@ from .recovery import recover, snapshot_service
 from .service import DictionaryService
 
 __all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
     "ChaosOutcome",
     "ChaosReport",
     "CrashPoint",
@@ -54,9 +57,12 @@ __all__ = [
     "FaultClock",
     "FaultInjectingBackend",
     "FaultSchedule",
+    "OverloadChaosReport",
     "RetryPolicy",
     "RetryingBackend",
+    "ShardBreakerBoard",
     "run_crash_matrix",
+    "run_overload_chaos",
 ]
 
 
@@ -150,16 +156,22 @@ class FaultInjectingBackend(StorageBackend):
         *,
         clock: FaultClock | None = None,
         schedule: FaultSchedule | None = None,
+        trace: list[str] | None = None,
     ) -> None:
         super().__init__(inner.b, inner.record_words)
         self.inner = inner
         self.clock = clock if clock is not None else FaultClock()
         self.schedule = schedule if schedule is not None else FaultSchedule()
+        self.trace = trace
         self.injected = 0
         self._pending = {"read": 0, "write": 0}
 
     def _tick(self, kind: str, block_id: int, torn=None) -> None:
         op = self.clock.tick()
+        if self.trace is not None:
+            # op indices start at 1, so trace[op - 1] is this op's kind;
+            # harnesses use the log to aim faults at real read/write ops.
+            self.trace.append(kind)
         sched = self.schedule
         if sched.crash_at_op is not None and op >= sched.crash_at_op:
             if torn is not None:
@@ -386,6 +398,97 @@ class RetryingBackend(StorageBackend):
 
     def words_stored(self) -> int:
         return self.inner.words_stored()
+
+
+# ---------------------------------------------------------------------------
+# Per-shard circuit breakers
+# ---------------------------------------------------------------------------
+
+
+BREAKER_CLOSED, BREAKER_OPEN, BREAKER_HALF_OPEN = "closed", "open", "half-open"
+
+
+class ShardBreakerBoard:
+    """Per-shard circuit breakers: quarantine a faulting shard, probe back.
+
+    The classic three-state machine, one per shard, driven entirely by
+    an external clock so every transition is deterministic:
+
+    * **closed** — healthy; ``threshold`` consecutive recorded failures
+      trip the breaker **open**;
+    * **open** — quarantined: :meth:`blocked` is ``True`` until
+      ``cooldown`` clock units have passed since the trip, at which
+      point the breaker turns **half-open**;
+    * **half-open** — one probe is let through (:meth:`blocked` returns
+      ``False``); a recorded success closes the breaker, a recorded
+      failure re-opens it and restarts the cooldown.
+
+    The clock is whatever the caller supplies per call — the open-loop
+    client passes its virtual ``now`` (seconds), the deterministic
+    tests pass a seeded :class:`FaultClock`'s op counter.  The board
+    never reads wall time.
+    """
+
+    def __init__(self, shards: int, *, threshold: int = 3, cooldown: float = 1.0) -> None:
+        if shards <= 0:
+            raise ValueError(f"shard count must be positive, got {shards}")
+        if threshold <= 0:
+            raise ValueError(f"failure threshold must be positive, got {threshold}")
+        if not cooldown > 0:
+            raise ValueError(f"cooldown must be positive, got {cooldown}")
+        self.shards = shards
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._state = [BREAKER_CLOSED] * shards
+        self._failures = [0] * shards
+        self._opened_at = [0.0] * shards
+        self.trips = 0
+        self.recoveries = 0
+
+    def state(self, shard: int) -> str:
+        return self._state[shard]
+
+    def blocked(self, shard: int, now: float) -> bool:
+        """Is the shard quarantined at clock value ``now``?
+
+        Transitions open → half-open as a side effect once the cooldown
+        has elapsed (the half-open probe is then admitted).
+        """
+        if self._state[shard] == BREAKER_OPEN:
+            # Same expression as reopen_at(): a caller that advances its
+            # clock to exactly reopen_at(s) must see the probe admitted
+            # (``now - opened >= cooldown`` can fail to that by one ulp).
+            if now >= self._opened_at[shard] + self.cooldown:
+                self._state[shard] = BREAKER_HALF_OPEN
+                return False
+            return True
+        return False
+
+    def reopen_at(self, shard: int) -> float:
+        """Clock value at which an open shard turns half-open (probe time)."""
+        return self._opened_at[shard] + self.cooldown
+
+    def record_success(self, shard: int, now: float) -> None:
+        if self._state[shard] == BREAKER_HALF_OPEN:
+            self.recoveries += 1
+        self._state[shard] = BREAKER_CLOSED
+        self._failures[shard] = 0
+
+    def record_failure(self, shard: int, now: float) -> None:
+        if self._state[shard] == BREAKER_HALF_OPEN:
+            # The probe failed: straight back to quarantine.
+            self._state[shard] = BREAKER_OPEN
+            self._opened_at[shard] = now
+            self.trips += 1
+            return
+        self._failures[shard] += 1
+        if self._state[shard] == BREAKER_CLOSED and self._failures[shard] >= self.threshold:
+            self._state[shard] = BREAKER_OPEN
+            self._opened_at[shard] = now
+            self.trips += 1
+
+    def any_open(self) -> bool:
+        return any(s != BREAKER_CLOSED for s in self._state)
 
 
 # ---------------------------------------------------------------------------
@@ -675,3 +778,188 @@ def run_crash_matrix(
         if own_workdir:
             shutil.rmtree(workdir, ignore_errors=True)
     return ChaosReport(outcomes=outcomes, epochs=epochs, backend_ops=backend_ops)
+
+
+# ---------------------------------------------------------------------------
+# Overload chaos: fault bursts under saturating arrivals
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OverloadChaosReport:
+    """One saturated, fault-injected open-loop run, fully accounted."""
+
+    ops: int
+    executed: int
+    rejected: int
+    shed: int
+    expired: int
+    breaker_trips: int
+    breaker_recoveries: int
+    retries: int
+    faults_injected: int
+
+    @property
+    def accounted(self) -> int:
+        return self.executed + self.rejected + self.shed + self.expired
+
+
+def run_overload_chaos(
+    make_service: Callable[[], DictionaryService],
+    kinds: np.ndarray,
+    keys: np.ndarray,
+    *,
+    service_rate: float,
+    rate_factor: float = 1.5,
+    queue_depth: int = 2048,
+    policy: str = "shed",
+    seed: int = 0,
+    fault_sites: int = 2,
+    fault_burst: int = 12,
+    breaker_threshold: int = 1,
+    cooldown_s: float = 0.05,
+    retry_policy: RetryPolicy | None = None,
+) -> OverloadChaosReport:
+    """Saturate a service, burst-fault its shards, account every op.
+
+    The degradation sibling of :func:`run_crash_matrix`: instead of
+    killing the process, the schedule injects fault *bursts that outlive
+    the retry budget* (``fault_burst > max_retries``), so
+    :class:`~repro.em.errors.RetryExhausted` surfaces from a shard, the
+    per-shard breaker trips, and the open-loop client must degrade
+    gracefully — healthy shards keep executing, quarantined-shard ops
+    wait behind the breaker or are shed by the admission policy, and
+    half-open probes re-admit the shard once the burst has drained.
+
+    Offered load is a seeded Poisson process at ``rate_factor ×
+    service_rate`` (saturating for any factor > 1) and the service-time
+    model is the deterministic virtual rate, so the whole run — arrival
+    times, shed decisions, breaker transitions — is exactly
+    reproducible.  Asserted here: **no silent loss** (every op ends
+    executed / rejected / shed / deadline-exceeded) and the executed
+    subset is a program-order subsequence.
+    """
+    from .admission import (
+        EXECUTED,
+        EXPIRED,
+        PENDING,
+        REJECTED,
+        SHED,
+        AdmissionController,
+    )
+    from .client import OpenLoopClient
+    from .traffic import PoissonArrivals
+
+    kinds = np.ascontiguousarray(kinds, dtype=np.uint8)
+    keys = np.ascontiguousarray(keys, dtype=np.uint64)
+    policy_r = retry_policy if retry_policy is not None else RetryPolicy()
+    if fault_burst <= policy_r.max_retries:
+        raise ValueError(
+            f"fault_burst {fault_burst} must exceed the retry budget "
+            f"{policy_r.max_retries}, or no fault ever surfaces to the breaker"
+        )
+
+    # Dry run (no faults) to learn which backend-op indices are reads
+    # vs writes, exactly like run_crash_matrix's golden pass.  Sampling
+    # sites from the recorded kind log (rather than blind indices à la
+    # FaultSchedule.sample) guarantees the first scheduled site actually
+    # fires: the chaos leg replays identically up to that point.
+    probe_svc = make_service()
+    clock = FaultClock()
+    op_log: list[str] = []
+    for sub in probe_svc._contexts:
+        sub.disk.backend = FaultInjectingBackend(
+            sub.disk.backend, clock=clock, trace=op_log
+        )
+    arrivals = PoissonArrivals(rate_factor * service_rate, seed=seed + 1)
+    controller = AdmissionController(queue_depth=queue_depth, policy=policy)
+    OpenLoopClient(
+        probe_svc, arrivals, controller=controller, service_rate=service_rate
+    ).drive(kinds, keys)
+    probe_svc.close()
+
+    # The chaos leg: same trace, same arrivals, now with fault bursts
+    # long enough to defeat the retrier, plus the breaker board.
+    rng = np.random.default_rng(seed + 2)
+    reads = [i + 1 for i, k in enumerate(op_log) if k == "read"]
+    writes = [i + 1 for i, k in enumerate(op_log) if k == "write"]
+    if not reads and not writes:
+        raise ValueError(
+            "dry run performed no backend ops (the stream fits in memory "
+            "buffers) — nothing to fault; grow the stream or shrink m"
+        )
+
+    def _sites(pool: list[int], count: int) -> dict[int, int]:
+        if not pool or count <= 0:
+            return {}
+        picks = rng.choice(len(pool), size=min(count, len(pool)), replace=False)
+        return {pool[int(i)]: fault_burst for i in picks}
+
+    schedule = FaultSchedule(
+        read_faults=_sites(reads, fault_sites),
+        write_faults=_sites(writes, fault_sites),
+    )
+    svc = make_service()
+    leg_clock = FaultClock()
+    retriers, injectors = [], []
+    for sub in svc._contexts:
+        faulty = FaultInjectingBackend(
+            sub.disk.backend, clock=leg_clock, schedule=schedule
+        )
+        retrier = RetryingBackend(faulty, policy=policy_r, sleep=lambda s: None)
+        sub.disk.backend = retrier
+        injectors.append(faulty)
+        retriers.append(retrier)
+    breaker = ShardBreakerBoard(
+        svc.shards, threshold=breaker_threshold, cooldown=cooldown_s
+    )
+    client = OpenLoopClient(
+        svc,
+        PoissonArrivals(rate_factor * service_rate, seed=seed + 1),
+        controller=AdmissionController(queue_depth=queue_depth, policy=policy),
+        breaker=breaker,
+        service_rate=service_rate,
+    )
+    report = client.drive(kinds, keys)
+    svc.close()
+
+    outcomes = client.outcomes
+    if int(np.sum(outcomes == PENDING)) != 0:
+        raise AssertionError(
+            f"overload chaos lost ops: {int(np.sum(outcomes == PENDING))} "
+            "left pending after the run"
+        )
+    counts = {
+        "executed": int(np.sum(outcomes == EXECUTED)),
+        "rejected": int(np.sum(outcomes == REJECTED)),
+        "shed": int(np.sum(outcomes == SHED)),
+        "expired": int(np.sum(outcomes == EXPIRED)),
+    }
+    if sum(counts.values()) != len(kinds):
+        raise AssertionError(f"overload accounting does not conserve: {counts}")
+    if report.shed != counts["shed"] or report.rejected != counts["rejected"]:
+        raise AssertionError("client report disagrees with outcome array")
+    # Quarantine may delay one shard's ops past another's, but each
+    # shard's stream must still execute in program order (same-key ops
+    # share a shard, so this is the per-key ordering guarantee).
+    order = np.asarray(client.executed_order, dtype=np.int64)
+    if svc.shards == 1:
+        shard_arr = np.zeros(len(keys), dtype=np.int64)
+    else:
+        shard_arr = (svc.router.hash_array(keys) % np.uint64(svc.shards)).astype(
+            np.int64
+        )
+    for s in range(svc.shards):
+        sub = order[shard_arr[order] == s]
+        if len(sub) > 1 and not bool(np.all(np.diff(sub) > 0)):
+            raise AssertionError(
+                f"shard {s} executed ops out of program order under quarantine"
+            )
+    return OverloadChaosReport(
+        ops=len(kinds),
+        **counts,
+        breaker_trips=breaker.trips,
+        breaker_recoveries=breaker.recoveries,
+        retries=sum(r.retries for r in retriers),
+        faults_injected=sum(i.injected for i in injectors),
+    )

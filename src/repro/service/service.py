@@ -105,7 +105,21 @@ class ThreadExecutor:
                 max_workers=self.max_workers, thread_name_prefix="repro-shard"
             )
         futures = [self._pool.submit(thunk) for thunk in thunks]
-        return [f.result() for f in futures]
+        # Wait for *every* future before raising: abandoning in-flight
+        # shard work on the first failure would leave threads mutating
+        # shard state behind the caller's back and make the pool's next
+        # run() racy.  First failure in submission (= shard) order wins,
+        # deterministically; the pool itself stays reusable.
+        results, first_exc = [], None
+        for f in futures:
+            try:
+                results.append(f.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_exc is None:
+                    first_exc = exc
+        if first_exc is not None:
+            raise first_exc
+        return results
 
     def close(self) -> None:
         if self._pool is not None:
@@ -389,7 +403,11 @@ class DictionaryService:
         try:
             results = self.executor.run(thunks)
         except StorageFault as exc:
-            raise type(exc)(f"epoch {self.epochs_run}: {exc}") from exc
+            wrapped = type(exc)(f"epoch {self.epochs_run}: {exc}")
+            # Keep the faulting shard visible to overload control: the
+            # open-loop client's circuit breaker quarantines by shard.
+            wrapped.shard = getattr(exc, "shard", None)
+            raise wrapped from exc
         for shard, (del_res, look_res) in zip(shard_order, results):
             _, _, dpos, _, lpos = work[shard]
             if del_res is not None:
@@ -424,7 +442,9 @@ class DictionaryService:
                 del_res = table.delete_batch(dels) if dels is not None else None
                 look_res = table.lookup_batch(looks) if looks is not None else None
             except StorageFault as exc:
-                raise type(exc)(f"shard {shard}: {exc}") from exc
+                wrapped = type(exc)(f"shard {shard}: {exc}")
+                wrapped.shard = shard
+                raise wrapped from exc
             return del_res, look_res
 
         return thunk

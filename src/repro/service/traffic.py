@@ -1,0 +1,213 @@
+"""Open-loop traffic: seeded arrival processes on a virtual clock.
+
+The :class:`~repro.service.client.ClosedLoopClient` measures *service
+capacity*: offered load adapts to service speed, so there is no queue
+and no notion of a user waiting.  Real traffic is **open-loop** — users
+arrive whether or not the service is keeping up — and the quantity that
+matters is queueing-inclusive latency under a given *offered load*.
+
+This module supplies the arrival side: seeded processes that stamp op
+``i`` with a **virtual arrival time** ``t_i`` (seconds on a virtual
+clock that starts at 0).  The randomness lives entirely in the seed —
+two runs with the same process parameters produce bit-identical arrival
+time arrays, so an open-loop experiment is exactly reproducible; the
+only wall-clock quantity in the pipeline is the measured per-batch
+service time (and even that can be replaced by a deterministic service
+model — see :class:`~repro.service.client.OpenLoopClient`).
+
+Three processes, all with mean rate ``rate`` ops/sec:
+
+* :class:`PoissonArrivals` — i.i.d. exponential gaps; the memoryless
+  baseline.
+* :class:`DiurnalArrivals` — inhomogeneous Poisson with a sinusoidal
+  rate ``λ(t) = rate · (1 + amplitude · sin(2πt/period_s))``: the
+  day/night load curve, compressed to ``period_s`` seconds.  Sampled by
+  thinning against the peak rate, so the time stamps are exact.
+* :class:`BurstyArrivals` — Markov-modulated on/off: exponential ON
+  periods (Poisson arrivals at ``rate / duty``) alternate with
+  exponential OFF periods (silence), where ``duty = on_s/(on_s+off_s)``.
+  Long-tailed queue build-up without changing the mean rate.
+
+``make_arrivals`` is the registry the CLI / bench ``--arrival`` flag
+resolves through (``"closed"`` is not here: it selects the closed-loop
+client, which has no arrival process).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..em.errors import ConfigurationError
+
+__all__ = [
+    "ARRIVALS",
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "PoissonArrivals",
+    "make_arrivals",
+]
+
+
+class ArrivalProcess:
+    """Base class: a seeded generator of virtual arrival times.
+
+    Subclasses implement :meth:`times`, returning a nondecreasing
+    ``float64`` array of ``n`` seconds with long-run mean rate
+    :attr:`rate` (ops/sec).  Construction validates ``rate > 0``.
+    """
+
+    name = "arrivals"
+
+    def __init__(self, rate: float, *, seed: int = 0) -> None:
+        if not rate > 0:
+            raise ConfigurationError(f"arrival rate must be positive, got {rate}")
+        self.rate = float(rate)
+        self.seed = seed
+
+    def times(self, n: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def _check(self, n: int) -> None:
+        if n < 0:
+            raise ConfigurationError(f"op count must be non-negative, got {n}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(rate={self.rate}, seed={self.seed})"
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson arrivals: i.i.d. ``Exp(rate)`` gaps."""
+
+    name = "poisson"
+
+    def times(self, n: int) -> np.ndarray:
+        self._check(n)
+        rng = np.random.default_rng(self.seed)
+        gaps = rng.exponential(scale=1.0 / self.rate, size=n)
+        return np.cumsum(gaps)
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoidal-rate Poisson: ``λ(t) = rate · (1 + a · sin(2πt/T))``.
+
+    ``amplitude`` must lie in ``[0, 1)`` so the rate stays positive.
+    Implemented by thinning a homogeneous process at the peak rate
+    ``rate · (1 + amplitude)``: candidates are kept with probability
+    ``λ(t)/λ_peak``, which yields the exact inhomogeneous process.
+    """
+
+    name = "diurnal"
+
+    def __init__(
+        self,
+        rate: float,
+        *,
+        seed: int = 0,
+        amplitude: float = 0.5,
+        period_s: float = 60.0,
+    ) -> None:
+        super().__init__(rate, seed=seed)
+        if not 0 <= amplitude < 1:
+            raise ConfigurationError(
+                f"diurnal amplitude must be in [0, 1), got {amplitude}"
+            )
+        if not period_s > 0:
+            raise ConfigurationError(f"period_s must be positive, got {period_s}")
+        self.amplitude = float(amplitude)
+        self.period_s = float(period_s)
+
+    def times(self, n: int) -> np.ndarray:
+        self._check(n)
+        rng = np.random.default_rng(self.seed)
+        peak = self.rate * (1.0 + self.amplitude)
+        out = np.empty(n, dtype=np.float64)
+        have = 0
+        t = 0.0
+        # Thinning in chunks: draw candidate gaps at the peak rate, keep
+        # each candidate with probability λ(t)/peak.
+        chunk = max(1024, int(n * (1.0 + self.amplitude)))
+        while have < n:
+            cand = t + np.cumsum(rng.exponential(scale=1.0 / peak, size=chunk))
+            lam = self.rate * (
+                1.0 + self.amplitude * np.sin(2.0 * np.pi * cand / self.period_s)
+            )
+            keep = cand[rng.random(chunk) * peak < lam]
+            take = min(n - have, len(keep))
+            out[have : have + take] = keep[:take]
+            have += take
+            t = cand[-1]
+        return out
+
+
+class BurstyArrivals(ArrivalProcess):
+    """Markov-modulated on/off arrivals at long-run mean ``rate``.
+
+    Alternating exponential ON (mean ``on_s``) and OFF (mean ``off_s``)
+    periods; arrivals are Poisson at ``rate / duty`` during ON and
+    silent during OFF, so the time-average rate is exactly ``rate``
+    while the instantaneous rate is ``1/duty``× higher — the
+    self-similar burst shape that stresses a bounded queue.
+    """
+
+    name = "bursty"
+
+    def __init__(
+        self,
+        rate: float,
+        *,
+        seed: int = 0,
+        on_s: float = 0.5,
+        off_s: float = 0.5,
+    ) -> None:
+        super().__init__(rate, seed=seed)
+        if not on_s > 0 or not off_s >= 0:
+            raise ConfigurationError(
+                f"burst periods must satisfy on_s > 0, off_s >= 0, "
+                f"got on_s={on_s}, off_s={off_s}"
+            )
+        self.on_s = float(on_s)
+        self.off_s = float(off_s)
+
+    @property
+    def duty(self) -> float:
+        return self.on_s / (self.on_s + self.off_s)
+
+    def times(self, n: int) -> np.ndarray:
+        self._check(n)
+        rng = np.random.default_rng(self.seed)
+        burst_rate = self.rate / self.duty
+        parts: list[np.ndarray] = []
+        have = 0
+        t = 0.0
+        while have < n:
+            on = rng.exponential(self.on_s)
+            # Arrivals inside this ON period, truncated at its end.
+            k = rng.poisson(burst_rate * on)
+            if k:
+                stamps = t + np.sort(rng.random(min(k, n - have))) * on
+                parts.append(stamps)
+                have += len(stamps)
+            t += on
+            if self.off_s > 0:
+                t += rng.exponential(self.off_s)
+        return np.concatenate(parts) if parts else np.empty(0, dtype=np.float64)
+
+
+#: Arrival-process registry, keyed by the CLI/bench ``--arrival`` names.
+ARRIVALS = {
+    "poisson": PoissonArrivals,
+    "diurnal": DiurnalArrivals,
+    "bursty": BurstyArrivals,
+}
+
+
+def make_arrivals(kind: str, rate: float, *, seed: int = 0, **kwargs) -> ArrivalProcess:
+    """Build an arrival process by registry name."""
+    try:
+        cls = ARRIVALS[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown arrival process {kind!r}; choose from {sorted(ARRIVALS)}"
+        ) from None
+    return cls(rate, seed=seed, **kwargs)

@@ -99,6 +99,55 @@ class TestServe:
         assert main(args + ["--window", "-3"]) == 2
         assert "--window must be positive" in capsys.readouterr().err
 
+    def test_serve_open_loop(self, capsys):
+        assert main(self.ARGS + ["--arrival", "poisson", "--rate", "50000",
+                                 "--queue-depth", "64",
+                                 "--shed-policy", "shed"]) == 0
+        out = capsys.readouterr().out
+        assert "goodput_kops" in out and "shed" in out
+
+    def test_open_loop_requires_rate(self, capsys):
+        assert main(self.ARGS + ["--arrival", "bursty"]) == 2
+        err = capsys.readouterr().err
+        assert "positive --rate" in err and "Traceback" not in err
+
+    def test_closed_loop_rejects_open_loop_flags(self, capsys):
+        assert main(self.ARGS + ["--queue-depth", "64"]) == 2
+        assert "only apply to open-loop" in capsys.readouterr().err
+
+    def test_queue_depth_must_be_positive(self, capsys):
+        assert main(self.ARGS + ["--arrival", "poisson", "--rate", "1000",
+                                 "--queue-depth", "0"]) == 2
+        assert "queue_depth must be positive" in capsys.readouterr().err
+
+    def test_deadline_must_be_positive(self, capsys):
+        assert main(self.ARGS + ["--arrival", "diurnal", "--rate", "1000",
+                                 "--deadline", "-1"]) == 2
+        assert "deadline_s must be positive" in capsys.readouterr().err
+
+
+class TestSlo:
+    ARGS = ["slo", "--b", "32", "--m", "256", "--n", "800",
+            "--epoch-ops", "128", "--loads", "0.8", "1.5"]
+
+    def test_slo_sweep(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "goodput_kops" in out and "slo_ok" in out
+        assert "max sustainable goodput" in out
+
+    def test_loads_must_be_positive(self, capsys):
+        args = ["slo", "--b", "32", "--m", "256", "--n", "800",
+                "--loads", "0.5", "-1.0"]
+        assert main(args) == 2
+        err = capsys.readouterr().err
+        assert "--loads factors must be positive" in err
+        assert "Traceback" not in err
+
+    def test_slo_ms_must_be_positive(self, capsys):
+        assert main(self.ARGS + ["--slo-ms", "0"]) == 2
+        assert "--slo-ms must be positive" in capsys.readouterr().err
+
 
 class TestRecover:
     def test_serve_then_recover_round_trip(self, tmp_path, capsys):

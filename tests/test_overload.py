@@ -1,0 +1,465 @@
+"""Overload resilience: admission, shedding, deadlines, breakers.
+
+Four contracts are pinned here:
+
+* **bit-identity with controls disabled** — a transparent open-loop run
+  (unbounded queue, no deadline, no breaker) produces bit-identical
+  epochs, per-shard and cluster ledgers, layouts, lookup/delete results
+  and memory peaks to a plain ``service.run`` of the same stream;
+* **no silent loss** — every offered op ends in exactly one accounted
+  outcome: ``executed + shed + rejected + deadline_exceeded == n``,
+  under every policy and under breaker quarantine with fault bursts;
+* **program order** — the executed subset is an ascending subsequence
+  of the offered stream (shedding deletes ops, never reorders them);
+  under quarantine the guarantee holds per shard (= per key);
+* **deterministic degradation** — seeded arrivals + virtual service
+  model + clock-driven breakers make every overload run, including the
+  chaos run, exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.em import PAPER_POLICY, make_context
+from repro.em.errors import ConfigurationError, ServiceOverloadError
+from repro.hashing.family import MULTIPLY_SHIFT
+from repro.service import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    EXECUTED,
+    EXPIRED,
+    PENDING,
+    REJECTED,
+    SHED,
+    AdmissionController,
+    AdmissionQueue,
+    DictionaryService,
+    OpenLoopClient,
+    PoissonArrivals,
+    RetryPolicy,
+    ShardBreakerBoard,
+    run_overload_chaos,
+)
+from repro.tables import ChainedHashTable
+from repro.workloads.trace import OP_DELETE, OP_INSERT, OP_LOOKUP
+
+U = 10**12
+
+
+def _chained(ctx):
+    return ChainedHashTable(ctx, MULTIPLY_SHIFT.sample(ctx.u, seed=7))
+
+
+def _make_service(shards=3, epoch_ops=256):
+    ctx = make_context(b=16, m=4096, u=U, policy=PAPER_POLICY)
+    return DictionaryService(ctx, _chained, shards=shards, epoch_ops=epoch_ops)
+
+
+def _mixed_stream(n, seed=0):
+    rnd = random.Random(seed)
+    live: list[int] = []
+    kinds, keys = [], []
+    for _ in range(n):
+        r = rnd.random()
+        if not live or r < 0.45:
+            k = rnd.randrange(U)
+            kinds.append(OP_INSERT)
+            live.append(k)
+        elif r < 0.80:
+            k = rnd.choice(live) if rnd.random() < 0.7 else rnd.randrange(U)
+            kinds.append(OP_LOOKUP)
+        else:
+            k = rnd.choice(live) if rnd.random() < 0.8 else rnd.randrange(U)
+            kinds.append(OP_DELETE)
+        keys.append(k)
+    return np.array(kinds, dtype=np.uint8), np.array(keys, dtype=np.uint64)
+
+
+def _ledgers(svc):
+    lt = lambda s: (s.reads, s.writes, s.combined, s.allocations)
+    return lt(svc.io_snapshot()), [lt(s) for s in svc.shard_io_snapshots()]
+
+
+# -- admission queue ---------------------------------------------------------
+
+
+def test_admission_queue_pops_in_program_order():
+    q = AdmissionQueue()
+    stream = [(0, OP_INSERT), (1, OP_LOOKUP), (2, OP_DELETE), (3, OP_LOOKUP),
+              (4, OP_INSERT)]
+    for idx, kind in stream:
+        q.push(idx, kind)
+    assert len(q) == 5
+    assert q.peek_next() == (0, OP_INSERT)
+    popped = [q.pop_next() for _ in range(5)]
+    assert popped == stream, "kind bucketing must not reorder the stream"
+    assert q.pop_next() is None and q.peek_next() is None and len(q) == 0
+
+
+def test_admission_queue_evicts_oldest_of_kind():
+    q = AdmissionQueue()
+    for idx, kind in [(0, OP_LOOKUP), (1, OP_INSERT), (2, OP_LOOKUP)]:
+        q.push(idx, kind)
+    assert q.oldest_of(OP_LOOKUP) == 0
+    assert q.evict_oldest(OP_LOOKUP) == 0
+    assert q.evict_oldest(OP_DELETE) is None
+    assert len(q) == 2
+    assert [q.pop_next() for _ in range(2)] == [(1, OP_INSERT), (2, OP_LOOKUP)]
+
+
+# -- admission controller ----------------------------------------------------
+
+
+def test_controller_validation():
+    with pytest.raises(ConfigurationError, match="queue_depth"):
+        AdmissionController(queue_depth=0)
+    with pytest.raises(ConfigurationError, match="unknown shed policy"):
+        AdmissionController(policy="panic")
+    with pytest.raises(ConfigurationError, match="permutation"):
+        AdmissionController(shed_order=(OP_LOOKUP, OP_LOOKUP, OP_DELETE))
+    with pytest.raises(ConfigurationError, match="deadline_s"):
+        AdmissionController(deadline_s=0.0)
+    with pytest.raises(ConfigurationError, match="high_water"):
+        AdmissionController(queue_depth=10, high_water=11)
+    with pytest.raises(ConfigurationError, match="min_batch"):
+        AdmissionController(min_batch=0)
+
+
+def test_controller_transparency():
+    assert AdmissionController().transparent
+    assert not AdmissionController(queue_depth=8).transparent
+    assert not AdmissionController(deadline_s=1.0).transparent
+
+
+def test_shed_policy_prefers_lowest_priority_kind():
+    ctrl = AdmissionController(queue_depth=2, policy="shed")
+    q = AdmissionQueue()
+    out = np.full(8, PENDING, dtype=np.uint8)
+    ctrl.offer(q, 0, OP_LOOKUP, out)
+    ctrl.offer(q, 1, OP_INSERT, out)
+    # Queue full; an arriving delete evicts the oldest lookup.
+    ctrl.offer(q, 2, OP_DELETE, out)
+    assert out[0] == SHED and len(q) == 2
+    # An arriving lookup is itself the most sheddable op in sight.
+    ctrl.offer(q, 3, OP_LOOKUP, out)
+    assert out[3] == SHED and len(q) == 2
+    assert [q.pop_next() for _ in range(2)] == [(1, OP_INSERT), (2, OP_DELETE)]
+
+
+def test_shed_order_is_configurable():
+    ctrl = AdmissionController(
+        queue_depth=1, policy="shed",
+        shed_order=(OP_DELETE, OP_LOOKUP, OP_INSERT),
+    )
+    q = AdmissionQueue()
+    out = np.full(4, PENDING, dtype=np.uint8)
+    ctrl.offer(q, 0, OP_DELETE, out)
+    ctrl.offer(q, 1, OP_INSERT, out)  # inserts outrank deletes here
+    assert out[0] == SHED and q.peek_next() == (1, OP_INSERT)
+
+
+def test_reject_policy_accounts_or_raises():
+    out = np.full(4, PENDING, dtype=np.uint8)
+    q = AdmissionQueue()
+    ctrl = AdmissionController(queue_depth=1, policy="reject")
+    ctrl.offer(q, 0, OP_INSERT, out)
+    ctrl.offer(q, 1, OP_INSERT, out)
+    assert out[1] == REJECTED and len(q) == 1
+    strict = AdmissionController(queue_depth=1, policy="reject", strict=True)
+    with pytest.raises(ServiceOverloadError, match="queue full"):
+        strict.offer(q, 2, OP_INSERT, out)
+
+
+def test_adapt_policy_shrinks_and_regrows_batches():
+    ctrl = AdmissionController(
+        queue_depth=1024, policy="adapt", high_water=512, min_batch=64
+    )
+    assert ctrl.batch_cap(600, 1024, 1024) == 512
+    assert ctrl.batch_cap(600, 1024, 512) == 256
+    assert ctrl.batch_cap(600, 1024, 70) == 64  # floor
+    assert ctrl.batch_cap(300, 1024, 64) == 64  # hysteresis band holds
+    assert ctrl.batch_cap(100, 1024, 64) == 128  # drained: grow back
+    assert ctrl.batch_cap(100, 1024, 1024) == 1024  # capped at epoch_ops
+    # Non-adapt policies never touch the cap.
+    assert AdmissionController(queue_depth=8).batch_cap(100, 1024, 512) == 1024
+
+
+def test_deadline_expiry_predicate():
+    ctrl = AdmissionController(deadline_s=0.5, queue_depth=8)
+    assert not ctrl.expired(1.0, 1.5)
+    assert ctrl.expired(1.0, 1.5000001)
+    assert not AdmissionController(queue_depth=8).expired(0.0, 1e9)
+
+
+# -- bit-identity with controls disabled -------------------------------------
+
+
+@pytest.mark.parametrize("shards,epoch_ops", [(1, 128), (3, 256), (4, 64)])
+def test_transparent_open_loop_is_bit_identical_to_run(shards, epoch_ops):
+    kinds, keys = _mixed_stream(2500, seed=11)
+    ref = _make_service(shards, epoch_ops)
+    golden = ref.run(kinds, keys)
+
+    svc = _make_service(shards, epoch_ops)
+    client = OpenLoopClient(
+        svc, PoissonArrivals(8000.0, seed=5), service_rate=30000.0
+    )
+    # Results round-trip through the service identically...
+    found = np.zeros(len(kinds), dtype=bool)
+    removed = np.zeros(len(kinds), dtype=bool)
+    report = client.drive(kinds, keys)
+    assert report.executed == len(kinds)
+    assert report.shed == report.rejected == report.deadline_exceeded == 0
+    # ...and every accounting observable matches the plain run.
+    assert report.epochs == len(golden.epochs)
+    assert _ledgers(ref) == _ledgers(svc)
+    assert ref.shard_sizes() == svc.shard_sizes()
+    assert ref.memory_high_water() == svc.memory_high_water()
+    assert ref.epochs_run == svc.epochs_run
+    probe = np.unique(keys)
+    ones = np.ones(len(probe), dtype=np.uint8)
+    assert np.array_equal(
+        ref.run(ones, probe).lookup_found, svc.run(ones, probe).lookup_found
+    )
+
+
+def test_transparent_client_executes_in_program_order():
+    kinds, keys = _mixed_stream(1200, seed=2)
+    svc = _make_service()
+    client = OpenLoopClient(svc, PoissonArrivals(5000.0, seed=1),
+                            service_rate=20000.0)
+    client.drive(kinds, keys)
+    assert client.executed_order == list(range(len(kinds)))
+
+
+# -- overload accounting and ordering ----------------------------------------
+
+
+@pytest.mark.parametrize("policy", ["reject", "shed", "adapt"])
+def test_overload_conserves_every_op(policy):
+    kinds, keys = _mixed_stream(3000, seed=5)
+    svc = _make_service()
+    client = OpenLoopClient(
+        svc,
+        PoissonArrivals(60000.0, seed=3),
+        controller=AdmissionController(queue_depth=128, policy=policy),
+        service_rate=10000.0,
+    )
+    rep = client.drive(kinds, keys)
+    out = client.outcomes
+    assert int(np.count_nonzero(out == PENDING)) == 0
+    assert rep.executed + rep.shed + rep.rejected + rep.deadline_exceeded == len(kinds)
+    assert rep.executed == int(np.count_nonzero(out == EXECUTED))
+    assert rep.shed == int(np.count_nonzero(out == SHED))
+    assert rep.rejected == int(np.count_nonzero(out == REJECTED))
+    # Saturated at 6x capacity with a tiny queue: something must give.
+    assert rep.executed < len(kinds)
+    assert rep.goodput_kops < rep.kops
+
+
+@pytest.mark.parametrize("policy", ["reject", "shed", "adapt"])
+def test_executed_subset_is_in_program_order(policy):
+    kinds, keys = _mixed_stream(2000, seed=9)
+    svc = _make_service()
+    client = OpenLoopClient(
+        svc,
+        PoissonArrivals(50000.0, seed=2),
+        controller=AdmissionController(queue_depth=96, policy=policy),
+        service_rate=8000.0,
+    )
+    client.drive(kinds, keys)
+    order = np.asarray(client.executed_order, dtype=np.int64)
+    assert len(order) > 0
+    assert bool(np.all(np.diff(order) > 0)), (
+        "shedding must only delete ops, never reorder them"
+    )
+    assert bool(np.all(client.outcomes[order] == EXECUTED))
+
+
+def test_shedding_prefers_lookups_over_writes():
+    kinds, keys = _mixed_stream(3000, seed=5)
+    svc = _make_service()
+    client = OpenLoopClient(
+        svc,
+        PoissonArrivals(80000.0, seed=3),
+        controller=AdmissionController(queue_depth=64, policy="shed"),
+        service_rate=8000.0,
+    )
+    rep = client.drive(kinds, keys)
+    shed_kinds = kinds[client.outcomes == SHED]
+    assert rep.shed > 0
+    lookups_shed = int(np.count_nonzero(shed_kinds == OP_LOOKUP))
+    deletes_shed = int(np.count_nonzero(shed_kinds == OP_DELETE))
+    assert lookups_shed > deletes_shed
+    # Deletes (last in the default shed order) survive at a higher rate
+    # than lookups (first).
+    lookup_rate = lookups_shed / max(1, int((kinds == OP_LOOKUP).sum()))
+    delete_rate = deletes_shed / max(1, int((kinds == OP_DELETE).sum()))
+    assert lookup_rate > delete_rate
+
+
+def test_deadlines_expire_queued_work():
+    kinds, keys = _mixed_stream(2000, seed=7)
+    svc = _make_service()
+    client = OpenLoopClient(
+        svc,
+        PoissonArrivals(50000.0, seed=4),
+        controller=AdmissionController(queue_depth=4096, deadline_s=0.002),
+        service_rate=6000.0,
+    )
+    rep = client.drive(kinds, keys)
+    assert rep.deadline_exceeded > 0
+    assert rep.executed + rep.deadline_exceeded + rep.shed + rep.rejected == len(kinds)
+    # Executed ops met their deadline-at-dispatch: queueing delay bounded.
+    lax = _make_service()
+    client2 = OpenLoopClient(
+        lax,
+        PoissonArrivals(50000.0, seed=4),
+        controller=AdmissionController(queue_depth=4096, deadline_s=1e9),
+        service_rate=6000.0,
+    )
+    rep2 = client2.drive(kinds, keys)
+    assert rep2.deadline_exceeded == 0 and rep2.executed == len(kinds)
+
+
+def test_open_loop_runs_are_reproducible():
+    kinds, keys = _mixed_stream(1500, seed=13)
+
+    def once():
+        svc = _make_service()
+        client = OpenLoopClient(
+            svc,
+            PoissonArrivals(40000.0, seed=6),
+            controller=AdmissionController(queue_depth=100, policy="shed"),
+            service_rate=9000.0,
+        )
+        rep = client.drive(kinds, keys)
+        return client.outcomes.copy(), client.executed_order, rep.row()
+
+    a, b = once(), once()
+    assert np.array_equal(a[0], b[0])
+    assert a[1] == b[1]
+    assert a[2] == b[2]
+
+
+def test_strict_reject_surfaces_service_overload_error():
+    kinds, keys = _mixed_stream(800, seed=3)
+    svc = _make_service()
+    client = OpenLoopClient(
+        svc,
+        PoissonArrivals(100000.0, seed=2),
+        controller=AdmissionController(queue_depth=16, strict=True),
+        service_rate=4000.0,
+    )
+    with pytest.raises(ServiceOverloadError, match="rejected"):
+        client.drive(kinds, keys)
+
+
+def test_client_parameter_validation():
+    svc = _make_service(shards=1)
+    with pytest.raises(ValueError, match="service_rate"):
+        OpenLoopClient(svc, PoissonArrivals(10.0), service_rate=0.0)
+    with pytest.raises(ValueError, match="batch_ops"):
+        OpenLoopClient(svc, PoissonArrivals(10.0), batch_ops=0)
+    client = OpenLoopClient(svc, PoissonArrivals(10.0))
+    empty = client.drive(np.zeros(0, np.uint8), np.zeros(0, np.uint64))
+    assert empty.ops == 0 and empty.executed == 0 and empty.seconds == 0.0
+
+
+# -- circuit breakers --------------------------------------------------------
+
+
+def test_breaker_transitions_are_deterministic():
+    board = ShardBreakerBoard(2, threshold=2, cooldown=10.0)
+    clock = 0.0
+    assert board.state(0) == BREAKER_CLOSED and not board.any_open()
+    board.record_failure(0, clock)
+    assert board.state(0) == BREAKER_CLOSED  # below threshold
+    board.record_failure(0, clock)
+    assert board.state(0) == BREAKER_OPEN and board.trips == 1
+    assert board.any_open()
+    # Quarantined until the cooldown elapses on the caller's clock.
+    assert board.blocked(0, 5.0)
+    assert board.reopen_at(0) == 10.0
+    assert not board.blocked(0, 10.0)
+    assert board.state(0) == BREAKER_HALF_OPEN
+    # Probe fails: straight back to quarantine, cooldown restarted.
+    board.record_failure(0, 10.0)
+    assert board.state(0) == BREAKER_OPEN and board.trips == 2
+    assert board.reopen_at(0) == 20.0
+    assert not board.blocked(0, 20.0)  # half-open again
+    board.record_success(0, 20.0)
+    assert board.state(0) == BREAKER_CLOSED and board.recoveries == 1
+    # Failure counting restarts from zero after recovery.
+    board.record_failure(0, 21.0)
+    assert board.state(0) == BREAKER_CLOSED
+    # The other shard never moved.
+    assert board.state(1) == BREAKER_CLOSED and not board.blocked(1, 0.0)
+
+
+def test_breaker_success_resets_failure_streak():
+    board = ShardBreakerBoard(1, threshold=3, cooldown=1.0)
+    board.record_failure(0, 0.0)
+    board.record_failure(0, 0.0)
+    board.record_success(0, 0.0)  # streak broken while closed
+    board.record_failure(0, 0.0)
+    board.record_failure(0, 0.0)
+    assert board.state(0) == BREAKER_CLOSED
+    board.record_failure(0, 0.0)
+    assert board.state(0) == BREAKER_OPEN
+
+
+def test_breaker_validation():
+    with pytest.raises(ValueError, match="shard count"):
+        ShardBreakerBoard(0)
+    with pytest.raises(ValueError, match="threshold"):
+        ShardBreakerBoard(2, threshold=0)
+    with pytest.raises(ValueError, match="cooldown"):
+        ShardBreakerBoard(2, cooldown=0.0)
+
+
+# -- overload chaos ----------------------------------------------------------
+
+
+def test_overload_chaos_accounts_every_op():
+    kinds, keys = _mixed_stream(2500, seed=21)
+    report = run_overload_chaos(
+        _make_service,
+        kinds,
+        keys,
+        service_rate=5000.0,
+        rate_factor=2.0,
+        queue_depth=256,
+        policy="shed",
+        seed=1,
+    )
+    # The harness itself asserts conservation and per-shard program
+    # order; pin the headline numbers here.
+    assert report.ops == len(kinds)
+    assert report.accounted == report.ops
+    assert report.executed > 0 and report.shed > 0
+    assert report.breaker_trips >= 1, "chaos run never tripped a breaker"
+    assert report.faults_injected > 0 and report.retries > 0
+
+
+def test_overload_chaos_is_reproducible():
+    kinds, keys = _mixed_stream(1500, seed=22)
+    kw = dict(service_rate=4000.0, rate_factor=1.8, queue_depth=200,
+              policy="shed", seed=9)
+    a = run_overload_chaos(_make_service, kinds, keys, **kw)
+    b = run_overload_chaos(_make_service, kinds, keys, **kw)
+    assert a == b
+
+
+def test_overload_chaos_rejects_healable_bursts():
+    kinds, keys = _mixed_stream(200, seed=1)
+    with pytest.raises(ValueError, match="retry budget"):
+        run_overload_chaos(
+            _make_service, kinds, keys, service_rate=1000.0,
+            fault_burst=2, retry_policy=RetryPolicy(max_retries=4),
+        )

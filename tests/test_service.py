@@ -298,6 +298,35 @@ def test_executor_registry_and_validation():
         DictionaryService(ctx, _chained, epoch_ops=-1)
 
 
+def test_thread_executor_propagates_thunk_exception():
+    ex = make_executor("threads", max_workers=2)
+    ran = []
+
+    def boom():
+        raise RuntimeError("shard 1 exploded")
+
+    def ok(tag):
+        def thunk():
+            ran.append(tag)
+            return tag
+        return thunk
+
+    try:
+        # The failure must surface (deterministically the first in
+        # submission order), not deadlock, and not abandon siblings:
+        # every other thunk still runs to completion first.
+        with pytest.raises(RuntimeError, match="shard 1 exploded"):
+            ex.run([ok("a"), boom, ok("b"), ok("c")])
+        assert sorted(ran) == ["a", "b", "c"]
+        with pytest.raises(ValueError, match="first"):
+            ex.run([lambda: (_ for _ in ()).throw(ValueError("first")),
+                    lambda: (_ for _ in ()).throw(KeyError("second"))])
+        # The pool survives a failed round and is immediately reusable.
+        assert ex.run([ok("d"), ok("e")]) == ["d", "e"]
+    finally:
+        ex.close()
+
+
 def test_thread_executor_close_is_idempotent():
     ex = make_executor("threads", max_workers=2)
     assert ex.run([lambda: 1, lambda: 2, lambda: 3]) == [1, 2, 3]
@@ -365,7 +394,25 @@ def test_client_reports_mix_and_latencies():
     assert 0 < rep.p50_ms <= rep.p99_ms <= rep.max_ms
     assert rep.io_total == ctx_total(svc)
     row = rep.row()
-    assert set(row) == {"ops", "epochs", "kops", "p50_ms", "p99_ms", "io/op"}
+    assert set(row) == {
+        "ops",
+        "epochs",
+        "kops",
+        "goodput_kops",
+        "p50_ms",
+        "p99_ms",
+        "queue_p99",
+        "io/op",
+        "shed",
+        "rejected",
+        "deadline_exceeded",
+    }
+    # Closed-loop runs execute everything: the overload columns are zero
+    # and goodput equals throughput.
+    assert row["shed"] == row["rejected"] == row["deadline_exceeded"] == 0
+    assert row["queue_p99"] == 0.0
+    assert rep.executed_ops == rep.ops
+    assert rep.goodput_kops == rep.kops
 
 
 def ctx_total(svc):

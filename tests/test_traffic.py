@@ -1,0 +1,129 @@
+"""Arrival processes: seeded, nondecreasing, rate-faithful virtual time.
+
+The open-loop experiments are only reproducible if the traffic side is
+exactly deterministic, so every process is pinned on three axes: shape
+(sorted, finite, positive length contract), determinism (same seed →
+bit-identical stamps; different seed → different stamps), and long-run
+mean rate (within a loose statistical tolerance at large n).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.em.errors import ConfigurationError
+from repro.service import (
+    ARRIVALS,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    make_arrivals,
+)
+
+ALL = [
+    PoissonArrivals(1000.0, seed=3),
+    DiurnalArrivals(1000.0, seed=3, amplitude=0.6, period_s=2.0),
+    BurstyArrivals(1000.0, seed=3, on_s=0.2, off_s=0.3),
+]
+
+
+@pytest.mark.parametrize("proc", ALL, ids=lambda p: p.name)
+def test_times_are_sorted_finite_and_sized(proc):
+    t = proc.times(5000)
+    assert t.shape == (5000,) and t.dtype == np.float64
+    assert bool(np.all(np.isfinite(t))) and bool(np.all(t >= 0))
+    assert bool(np.all(np.diff(t) >= 0)), "arrival times must be nondecreasing"
+    assert proc.times(0).shape == (0,)
+
+
+@pytest.mark.parametrize("proc", ALL, ids=lambda p: p.name)
+def test_same_seed_is_bit_identical(proc):
+    assert proc.times(2000).tolist() == proc.times(2000).tolist()
+
+
+@pytest.mark.parametrize("cls", [PoissonArrivals, DiurnalArrivals, BurstyArrivals])
+def test_different_seeds_differ(cls):
+    a = cls(500.0, seed=1).times(500)
+    b = cls(500.0, seed=2).times(500)
+    assert a.tolist() != b.tolist()
+
+
+@pytest.mark.parametrize("proc", ALL, ids=lambda p: p.name)
+def test_long_run_mean_rate(proc):
+    n = 60000
+    t = proc.times(n)
+    observed = n / t[-1]
+    assert observed == pytest.approx(proc.rate, rel=0.10), (
+        f"{proc.name}: observed {observed:.1f} ops/s vs nominal {proc.rate}"
+    )
+
+
+def test_poisson_gaps_are_exponential_shaped():
+    t = PoissonArrivals(1000.0, seed=9).times(50000)
+    gaps = np.diff(t)
+    # Memorylessness fingerprint: mean ≈ std ≈ 1/rate.
+    assert gaps.mean() == pytest.approx(1e-3, rel=0.05)
+    assert gaps.std() == pytest.approx(1e-3, rel=0.05)
+
+
+def test_diurnal_rate_actually_oscillates():
+    proc = DiurnalArrivals(2000.0, seed=5, amplitude=0.8, period_s=1.0)
+    t = proc.times(40000)
+    # Count arrivals in the peak vs trough quarter of each cycle.
+    phase = np.mod(t, 1.0)
+    peak = int(np.count_nonzero((phase >= 0.0) & (phase < 0.5)))
+    trough = int(np.count_nonzero((phase >= 0.5) & (phase < 1.0)))
+    assert peak > 1.5 * trough, (peak, trough)
+
+
+def test_bursty_duty_cycle_and_silence():
+    proc = BurstyArrivals(1000.0, seed=7, on_s=0.1, off_s=0.4)
+    assert proc.duty == pytest.approx(0.2)
+    t = proc.times(20000)
+    gaps = np.diff(t)
+    # OFF periods leave gaps far beyond anything a Poisson at the
+    # instantaneous ON rate (5000/s) would produce.
+    assert float(gaps.max()) > 10 * (1.0 / 5000.0)
+    # But within bursts the arrivals are dense.
+    assert float(np.median(gaps)) < 1.0 / 1000.0
+
+
+def test_bursty_zero_off_degenerates_to_continuous():
+    proc = BurstyArrivals(1000.0, seed=7, on_s=0.5, off_s=0.0)
+    assert proc.duty == 1.0
+    t = proc.times(5000)
+    assert len(t) == 5000 and bool(np.all(np.diff(t) >= 0))
+
+
+def test_registry_and_factory():
+    assert sorted(ARRIVALS) == ["bursty", "diurnal", "poisson"]
+    p = make_arrivals("poisson", 100.0, seed=4)
+    assert isinstance(p, PoissonArrivals) and p.seed == 4
+    d = make_arrivals("diurnal", 100.0, amplitude=0.2)
+    assert isinstance(d, DiurnalArrivals) and d.amplitude == 0.2
+    with pytest.raises(ConfigurationError, match="unknown arrival process"):
+        make_arrivals("pareto", 100.0)
+
+
+@pytest.mark.parametrize("cls", [PoissonArrivals, DiurnalArrivals, BurstyArrivals])
+def test_rate_must_be_positive(cls):
+    with pytest.raises(ConfigurationError, match="rate must be positive"):
+        cls(0.0)
+    with pytest.raises(ConfigurationError, match="rate must be positive"):
+        cls(-5.0)
+
+
+def test_parameter_validation():
+    with pytest.raises(ConfigurationError, match="amplitude"):
+        DiurnalArrivals(10.0, amplitude=1.0)
+    with pytest.raises(ConfigurationError, match="amplitude"):
+        DiurnalArrivals(10.0, amplitude=-0.1)
+    with pytest.raises(ConfigurationError, match="period_s"):
+        DiurnalArrivals(10.0, period_s=0.0)
+    with pytest.raises(ConfigurationError, match="burst periods"):
+        BurstyArrivals(10.0, on_s=0.0)
+    with pytest.raises(ConfigurationError, match="burst periods"):
+        BurstyArrivals(10.0, on_s=0.5, off_s=-0.1)
+    with pytest.raises(ConfigurationError, match="op count"):
+        PoissonArrivals(10.0).times(-1)
