@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: help test test-fast chaos-test overload-test bench service-bench slo-bench bench-all clean
+.PHONY: help test test-fast chaos-test overload-test bench cache-bench service-bench slo-bench bench-all clean
 
 ## Print the entry points (tier-1 invocation included).
 help:
@@ -14,6 +14,7 @@ help:
 	@echo "  make chaos-test    crash-point matrix only: journal/recovery/fault-injection"
 	@echo "  make overload-test open-loop traffic + admission/shedding/breaker invariants"
 	@echo "  make bench         scalar-vs-batch + backend x shards perf rows -> BENCH_throughput.json"
+	@echo "  make cache-bench   cold-vs-warm BufferPool rows + plots/*.dat curves -> BENCH_cache.json"
 	@echo "  make service-bench mixed-op service rows (incl. durable+journal leg) -> BENCH_service.json"
 	@echo "  make slo-bench     latency vs offered load sweep + breaker chaos -> BENCH_service.json"
 	@echo "  make bench-all     every paper-artifact benchmark (slow)"
@@ -23,10 +24,13 @@ help:
 test:
 	$(PY) -m pytest tests/ -x -q
 
-## Quick subset for inner-loop development (tables + parity + EM layer).
+## Quick subset for inner-loop development (tables + parity + EM layer,
+## buffer-pool unit tests + the cached-vs-uncached relabelling contract).
 test-fast:
 	$(PY) -m pytest tests/test_batch_parity.py tests/test_em_disk.py \
-	    tests/test_em_iostats.py tests/test_buffered.py tests/test_logmethod.py -q
+	    tests/test_em_iostats.py tests/test_em_cache.py \
+	    tests/test_cache_axis.py tests/test_buffered.py \
+	    tests/test_logmethod.py -q
 
 ## Crash-consistency only: the chaos matrix (crash at every epoch
 ## boundary + sampled intra-epoch backend ops, per policy x backend,
@@ -52,6 +56,16 @@ overload-test:
 bench:
 	$(PY) -m pytest benchmarks/bench_throughput.py --benchmark-only -s -q \
 	    --benchmark-json=BENCH_throughput.json
+
+## Cache axis only: the cold-vs-warm BufferPool rounds on the buffered
+## table and the Bloom-filtered LSM (relabelling contract asserted
+## in-run; warm cached rounds must beat the uncached leg).  Writes
+## BENCH_cache.json so a targeted run never clobbers the trajectory
+## file, and drops per-table .dat curves under plots/ for gnuplot.
+cache-bench:
+	REPRO_PLOT_DIR=plots $(PY) -m pytest \
+	    benchmarks/bench_throughput.py::test_cache_throughput \
+	    --benchmark-only -s -q --benchmark-json=BENCH_cache.json
 
 ## Service axis only: the 70/25/5 mixed-workload closed-loop rows
 ## (throughput + p50/p99 latency, serial-vs-threads determinism, the

@@ -1,0 +1,74 @@
+"""Per-configuration time-series plot data (``.dat``) emitter.
+
+The cache benchmark measures *curves* — keys/sec and hit rate per
+round, cold start to steady state, one series per (table, config) —
+and rows buried in ``BENCH_throughput.json`` are awkward to feed to a
+plotting pipeline.  This module drops each series as a
+whitespace-aligned ``.dat`` file with one ``#``-commented header line,
+the format both gnuplot and ``numpy.loadtxt`` read unchanged::
+
+    # round  phase  uncached_kops  cached_kops  hit_rate
+    0        cold   216.1          336.3        0.964
+    1        warm   211.6          334.0        0.963
+
+so ``plot "cache_buffered.dat" using 1:4`` (or a batch-run driver
+looping over configs) works with no JSON post-processing.
+
+Emission is opt-in: series land under ``$REPRO_PLOT_DIR`` when it is
+set (``make cache-bench`` points it at ``plots/``) and are skipped
+silently otherwise, so a plain ``make bench`` writes no extra files.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["plot_dir", "write_series"]
+
+
+def plot_dir() -> Path | None:
+    """The opt-in output directory (``$REPRO_PLOT_DIR``), or ``None``."""
+    d = os.environ.get("REPRO_PLOT_DIR")
+    return Path(d) if d else None
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def write_series(
+    name: str,
+    rows: list[dict],
+    *,
+    columns: tuple[str, ...],
+    outdir: str | Path | None = None,
+) -> Path | None:
+    """Write one time series as ``<outdir>/<name>.dat``.
+
+    ``rows`` is a list of dicts (extra keys are ignored); ``columns``
+    picks and orders the emitted fields.  ``outdir`` defaults to
+    :func:`plot_dir`; when that is unset (or ``rows`` is empty) nothing
+    is written and ``None`` is returned, so callers can emit
+    unconditionally.
+    """
+    out = Path(outdir) if outdir is not None else plot_dir()
+    if out is None or not rows:
+        return None
+    cells = [[_cell(row[c]) for c in columns] for row in rows]
+    widths = [
+        max(len(head), *(len(line[i]) for line in cells))
+        for i, head in enumerate(columns)
+    ]
+    # The leading "# " widens the first column of every data line so
+    # values stay aligned under their header.
+    lines = ["# " + "  ".join(h.ljust(w) for h, w in zip(columns, widths))]
+    for line in cells:
+        padded = "  ".join(v.ljust(w) for v, w in zip(line, widths))
+        lines.append("  " + padded)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"{name}.dat"
+    path.write_text("\n".join(line.rstrip() for line in lines) + "\n")
+    return path

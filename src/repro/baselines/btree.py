@@ -145,7 +145,13 @@ class BTree(ExternalDictionary):
         (depth until termination) and the pending read-modify-write
         block are restored to the scalar walk's, so counters are
         bit-identical to the per-key loop.
+
+        Cached runs take the scalar per-key walk instead: the bulk
+        branch charges reads wholesale without consulting the buffer
+        pool.
         """
+        if self.ctx.disk.cache is not None:
+            return super().lookup_batch(keys, cost_out=cost_out)
         key_list, arr = normalize_keys(keys)
         n = len(key_list)
         out = np.zeros(n, dtype=bool)

@@ -388,7 +388,13 @@ class BufferTree(ExternalDictionary):
         until its hit, plus the leaf read — so I/O counters, per-query
         ``cost_out`` and the pending read-modify-write block are
         bit-identical to the per-key loop.
+
+        Cached runs take the scalar per-key walk instead: the bulk
+        branch charges reads wholesale without consulting the buffer
+        pool.
         """
+        if self.ctx.disk.cache is not None:
+            return super().lookup_batch(keys, cost_out=cost_out)
         key_list, arr = normalize_keys(keys)
         n = len(key_list)
         out = np.zeros(n, dtype=bool)

@@ -147,11 +147,15 @@ class LSMTree(ExternalDictionary):
         return run
 
     def _read_run(self, run: _Run) -> list[int]:
-        """Read a run back (one read per block), returning sorted items."""
-        out: list[int] = []
-        for bid in run.block_ids:
-            out.extend(self.ctx.disk.read(bid).records())
-        return out
+        """Read a run back (one read per block), returning sorted items.
+
+        Routed through :meth:`Disk.read_records` — charge-identical to
+        per-block ``read`` (one bulk charge, same pending RMW block) and
+        scan-resistant on a cached disk: compaction reads count hits and
+        misses but never install frames, so a merge cannot flush the
+        pool.
+        """
+        return self.ctx.disk.read_records(run.block_ids)
 
     def _free_run(self, run: _Run) -> None:
         for bid in run.block_ids:
@@ -392,21 +396,31 @@ class LSMTree(ExternalDictionary):
 
     def lookup(self, key: int) -> bool:
         """Memtable, then each level newest-first: ≤ 1 I/O per level
-        (0 when a Bloom filter rejects)."""
+        (0 when a Bloom filter rejects).
+
+        The per-level Bloom filters double as a *negative cache* on a
+        cached disk: a rejection answers the probe without touching the
+        buffer pool or the disk and is counted as a ``negative_hit``
+        (rejections charge nothing in uncached runs too, so the
+        hits+misses exactness contract is untouched).
+        """
         self.stats.lookups += 1
         if key in self._tombstones:
             return False
         if key in self._memtable:
             self.stats.hits += 1
             return True
+        disk = self.ctx.disk
+        cache = disk.cache
         for run in self._levels:
             if run is None or run.size == 0:
                 continue
             if run.bloom is not None and not run.bloom.might_contain(key):
+                if cache is not None:
+                    cache.stats.negative_hits += 1
                 continue
             i = max(0, bisect.bisect_right(run.fences, key) - 1)
-            blk = self.ctx.disk.read(run.block_ids[i])
-            if key in blk:
+            if disk.probe_record(run.block_ids[i], key):
                 self.stats.hits += 1
                 return True
         return False
@@ -433,7 +447,10 @@ class LSMTree(ExternalDictionary):
         n = len(key_list)
         if n == 0:
             return np.empty(0, dtype=bool)
-        if 24 * n < self._size:
+        if 24 * n < self._size or self.ctx.disk.cache is not None:
+            # Tiny batches keep the scalar loop; so do cached runs, whose
+            # per-key probes label every read hit or miss (and let the
+            # Bloom screens count negative hits).
             return super().lookup_batch(key_list, cost_out=cost_out)
         runs = [run for run in self._levels if run is not None and run.size > 0]
         out = np.zeros(n, dtype=bool)

@@ -23,9 +23,11 @@ code:
 Every command accepts ``--b``, ``--m``, ``--n`` to change the model
 geometry, plus the system axes ``--backend`` (storage backend behind
 the disk: ``mapping``, ``arena``, or the memmap-persistent
-``durable-arena``; I/O counts are backend-invariant) and ``--shards``
-(fan the dictionary out over N independent shards), and prints plain
-aligned tables (no plotting dependencies).
+``durable-arena``; I/O counts are backend-invariant), ``--shards``
+(fan the dictionary out over N independent shards) and
+``--cache-blocks`` (per-shard buffer pool: hits are served uncharged,
+results stay bit-identical), and prints plain aligned tables (no
+plotting dependencies).
 """
 
 from __future__ import annotations
@@ -76,11 +78,22 @@ def _add_geometry(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="shard the dictionary over N independent routers (1 = off)",
     )
+    parser.add_argument(
+        "--cache-blocks",
+        type=int,
+        default=0,
+        help="per-shard buffer-pool capacity in blocks (0 = uncached; "
+        "hits are uncharged, results stay bit-identical)",
+    )
 
 
 def _storage(args) -> StorageConfig:
     """Validate and bundle the system axes of a CLI invocation."""
-    return StorageConfig(backend=args.backend, shards=args.shards)
+    return StorageConfig(
+        backend=args.backend,
+        shards=args.shards,
+        cache_blocks=args.cache_blocks,
+    )
 
 
 def _add_traffic(parser: argparse.ArgumentParser) -> None:
@@ -157,7 +170,10 @@ def cmd_figure1(args) -> int:
     storage = _storage(args)
 
     def ctx_factory():
-        return make_context(b=args.b, m=args.m, u=2**40, backend=storage.backend)
+        return make_context(
+            b=args.b, m=args.m, u=2**40, backend=storage.backend,
+            cache_blocks=storage.cache_blocks,
+        )
 
     curves = figure1_curves(args.b, args.n, args.m)
     factories = _table_factories(args)
@@ -198,7 +214,10 @@ def cmd_baselines(args) -> int:
     storage = _storage(args)
 
     def ctx_factory():
-        return make_context(b=args.b, m=args.m, u=2**40, backend=storage.backend)
+        return make_context(
+            b=args.b, m=args.m, u=2**40, backend=storage.backend,
+            cache_blocks=storage.cache_blocks,
+        )
 
     rows = []
     for name, factory in _table_factories(args).items():
@@ -214,7 +233,10 @@ def cmd_audit(args) -> int:
     storage = _storage(args)
     rows = []
     for name, factory in _table_factories(args).items():
-        ctx = make_context(b=args.b, m=args.m, u=2**40, backend=storage.backend)
+        ctx = make_context(
+            b=args.b, m=args.m, u=2**40, backend=storage.backend,
+            cache_blocks=storage.cache_blocks,
+        )
         table = factory(ctx)
         table.insert_many(UniformKeys(ctx.u, args.seed).take(args.n))
         z = decompose(table.layout_snapshot())
@@ -236,7 +258,11 @@ def cmd_trace(args) -> int:
     if args.table not in factories:
         print(f"unknown table {args.table!r}; choose from {sorted(factories)}")
         return 2
-    ctx = make_context(b=args.b, m=args.m, u=2**40, backend=_storage(args).backend)
+    storage = _storage(args)
+    ctx = make_context(
+        b=args.b, m=args.m, u=2**40, backend=storage.backend,
+        cache_blocks=storage.cache_blocks,
+    )
     table = factories[args.table](ctx)
     wl = MixedWorkload(
         UniformKeys(ctx.u, args.seed),
@@ -298,7 +324,11 @@ def cmd_serve(args) -> int:
     if args.table not in factories:
         print(f"unknown table {args.table!r}; choose from {sorted(factories)}")
         return 2
-    ctx = make_context(b=args.b, m=args.m, u=2**40, backend=_storage(args).backend)
+    storage = _storage(args)
+    ctx = make_context(
+        b=args.b, m=args.m, u=2**40, backend=storage.backend,
+        cache_blocks=storage.cache_blocks,
+    )
     wl = BulkMixedWorkload(
         UniformKeys(ctx.u, args.seed),
         mix=tuple(args.mix),
@@ -340,6 +370,12 @@ def cmd_serve(args) -> int:
               f"(reads={io.reads} writes={io.writes} combined={io.combined}), "
               f"memory peak {svc.memory_high_water()} words over "
               f"{svc.shards} shard machines")
+        if storage.cache_blocks:
+            cache = svc.cache_snapshot()
+            print(f"cluster cache: hits={cache.hits} misses={cache.misses} "
+                  f"negative_hits={cache.negative_hits} "
+                  f"hit_rate={cache.hit_rate:.3f} "
+                  f"({storage.cache_blocks} blocks/shard)")
         if journal is not None:
             print(f"journal: {journal.committed_epochs} epochs committed, "
                   f"{journal.bytes_written} bytes -> {args.journal}")
@@ -390,7 +426,10 @@ def cmd_slo(args) -> int:
     storage = _storage(args)
 
     def make_service():
-        ctx = make_context(b=args.b, m=args.m, u=2**40, backend=storage.backend)
+        ctx = make_context(
+            b=args.b, m=args.m, u=2**40, backend=storage.backend,
+            cache_blocks=storage.cache_blocks,
+        )
         return DictionaryService(
             ctx, factories[args.table], shards=args.shards,
             epoch_ops=args.epoch_ops,

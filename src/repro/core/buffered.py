@@ -300,6 +300,10 @@ class BufferedHashTable(ExternalDictionary):
             # the vectorised path only pays off for batches that are
             # not tiny relative to the table (cf. the LSM screen gate).
             and 24 * n >= self._hhat_count
+            # The bulk branch charges reads wholesale without consulting
+            # the buffer pool; cached runs take the scalar probes so
+            # every read is labelled hit or miss.
+            and self.ctx.disk.cache is None
             and self._recent.levels_chain_free()
             and all(not bkt._chain for bkt in hhat)
         ):

@@ -26,7 +26,7 @@ from ..em.errors import ConfigurationError
 
 @dataclass(frozen=True)
 class StorageConfig:
-    """System configuration: storage backend and shard fan-out.
+    """System configuration: storage backend, shard fan-out, caching.
 
     Attributes
     ----------
@@ -38,10 +38,17 @@ class StorageConfig:
     shards:
         Number of independent shards the dictionary router splits a
         logical table over (1 = unsharded).
+    cache_blocks:
+        Per-shard :class:`~repro.em.cache.BufferPool` capacity in
+        blocks (0 = uncached).  The third I/O-policy axis: cache hits
+        are served uncharged, and every cached run satisfies
+        ``hits + misses == uncached charged reads`` while producing
+        bit-identical results and layouts.
     """
 
     backend: str = "mapping"
     shards: int = 1
+    cache_blocks: int = 0
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -52,6 +59,10 @@ class StorageConfig:
         if self.shards <= 0:
             raise ConfigurationError(
                 f"shard count must be positive, got {self.shards}"
+            )
+        if self.cache_blocks < 0:
+            raise ConfigurationError(
+                f"cache_blocks must be non-negative, got {self.cache_blocks}"
             )
 
 

@@ -269,7 +269,14 @@ class LogMethodHashTable(ExternalDictionary):
         n = len(key_list)
         # The whole-level materialisation only pays off for batches that
         # are not tiny relative to the table (cf. the LSM screen gate).
-        if cost_out is None and 24 * n >= self._size and self.levels_chain_free():
+        # Cached runs take the scalar probes so every read is labelled
+        # hit or miss against the buffer pool.
+        if (
+            cost_out is None
+            and 24 * n >= self._size
+            and self.ctx.disk.cache is None
+            and self.levels_chain_free()
+        ):
             # Fully vectorised: membership per level via np.isin (an
             # item always lives in its own hash bucket, so level-wide
             # membership equals bucket membership), reads charged in
@@ -462,13 +469,20 @@ class LogMethodHashTable(ExternalDictionary):
         lvl = self._get_level(k)
         disk = self.ctx.disk
         stats = disk.stats
+        cache = disk.cache
         drain = disk.drain_uncharged
         items: list[int] = []
         reads = 0
         drained = 0
+        hits = 0
+        hit_drained = 0
         last_nonempty = False
+        last_was_hit = False
         for bkt in lvl.buckets:
             if bkt._chain:
+                last_was_hit = cache is not None and cache.is_resident(
+                    bkt.block_ids[-1]
+                )
                 got = bkt.read_all()
                 last_nonempty = bool(got)
                 if got:
@@ -476,25 +490,54 @@ class LogMethodHashTable(ExternalDictionary):
                     bkt.replace_all([])
                 continue
             reads += 1
+            # Residency must be sampled before the drain: a cached
+            # drain_uncharged drops the frame for coherence.
+            hit = cache is not None and cache.is_resident(bkt.primary)
+            if hit:
+                hits += 1
+            last_was_hit = hit
             got = drain(bkt.primary)
             if got:
                 items.extend(got)
                 drained += 1
+                if hit:
+                    hit_drained += 1
                 last_nonempty = True
             else:
                 last_nonempty = False
-        if reads:
-            stats.reads += reads
-        if drained:
-            # Each rewrite immediately follows the read of its own
-            # block: a combining policy nets it out, and a non-empty
-            # block is never an allocation.
-            if stats.policy.combine_rmw:
-                stats.combined += drained
+        if cache is None:
+            if reads:
+                stats.reads += reads
+            if drained:
+                # Each rewrite immediately follows the read of its own
+                # block: a combining policy nets it out, and a non-empty
+                # block is never an allocation.
+                if stats.policy.combine_rmw:
+                    stats.combined += drained
+                else:
+                    stats.writes += drained
+            last = lvl.buckets[-1]
+            stats._last_read_block = None if last_nonempty else last.block_ids[-1]
+        else:
+            # Resident buckets are hits: read not charged, and their
+            # rewrites cannot combine (no physical read preceded them).
+            cache.stats.hits += hits
+            cache.stats.misses += reads - hits
+            stats.reads += reads - hits
+            miss_drained = drained - hit_drained
+            if miss_drained:
+                if stats.policy.combine_rmw:
+                    stats.combined += miss_drained
+                else:
+                    stats.writes += miss_drained
+            stats.writes += hit_drained
+            # The pending RMW block must name the last *physical* read;
+            # that is only knowable when the final bucket was an empty
+            # miss (read charged, nothing written after it).
+            if not last_nonempty and not last_was_hit:
+                stats._last_read_block = lvl.buckets[-1].block_ids[-1]
             else:
-                stats.writes += drained
-        last = lvl.buckets[-1]
-        stats._last_read_block = None if last_nonempty else last.block_ids[-1]
+                stats._last_read_block = None
         lvl.count = 0
         return items
 

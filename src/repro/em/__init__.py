@@ -8,7 +8,8 @@ Public surface:
 * :class:`~repro.em.iostats.IOStats`, :class:`~repro.em.iostats.IOPolicy` —
   the I/O complexity measure.
 * :class:`~repro.em.memory.MemoryBudget` — the ``m``-word memory.
-* :class:`~repro.em.cache.BufferPool` — LRU buffering for baselines.
+* :class:`~repro.em.cache.BufferPool`, :class:`~repro.em.cache.CachedDisk`
+  — the caching policy axis (``cache_blocks=`` on :func:`make_context`).
 * :class:`~repro.em.backends.StorageBackend` and friends — pluggable
   block stores behind the disk (``"mapping"`` / ``"arena"``).
 """
@@ -22,7 +23,7 @@ from .backends import (
     make_backend,
 )
 from .block import Block
-from .cache import BufferPool, CacheStats
+from .cache import BufferPool, CachedDisk, CacheStats
 from .disk import Disk
 from .errors import (
     BlockOverflowError,
@@ -47,6 +48,7 @@ __all__ = [
     "StorageBackend",
     "make_backend",
     "BufferPool",
+    "CachedDisk",
     "CacheStats",
     "Disk",
     "EMContext",

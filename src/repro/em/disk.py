@@ -55,6 +55,13 @@ from .iostats import IOStats
 class Disk:
     """An unbounded array of ``b``-word blocks with I/O accounting.
 
+    ``cache`` is the caching policy axis: ``None`` here (uncached —
+    every charged method talks straight to the backend), a
+    :class:`~repro.em.cache.BufferPool` on the
+    :class:`~repro.em.cache.CachedDisk` subclass.  Hot paths branch on
+    ``disk.cache is None`` to keep the uncached configuration
+    bit-identical to the pre-cache ledgers.
+
     Parameters
     ----------
     block_size_words:
@@ -72,6 +79,9 @@ class Disk:
         each shard's disk a strided ``first_id`` so block-id namespaces
         stay disjoint and allocation order is per-shard deterministic.
     """
+
+    #: The caching axis: a BufferPool on CachedDisk, None when uncached.
+    cache = None
 
     def __init__(
         self,

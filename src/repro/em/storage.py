@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from .cache import CachedDisk
 from .disk import Disk
 from .errors import ConfigurationError
 from .iostats import IOPolicy, IOStats, PAPER_POLICY
@@ -86,33 +87,69 @@ class EMContext:
     store, ``"arena"`` for contiguous numpy record arenas.  The choice
     never changes I/O accounting — the backend-parity suite pins the
     counters bit-for-bit across backends.
+
+    ``cache_blocks`` is the third I/O-policy axis (caching, see
+    :mod:`repro.em.cache`): ``0`` builds a plain uncached
+    :class:`~repro.em.disk.Disk`; a positive value builds a
+    :class:`~repro.em.cache.CachedDisk` whose ``cache_blocks``-frame
+    pool is charged against this context's memory budget.  The budget is
+    provisioned with ``m + cache_blocks * b`` words — the structures
+    still see ``m`` (``ctx.m`` is unchanged), modelling a machine with
+    ``m`` structure words plus a dedicated cache, so cached and uncached
+    runs lay blocks out identically and differ only in I/O labelling.
     """
 
     params: ModelParams
     policy: IOPolicy = field(default_factory=lambda: PAPER_POLICY)
     record_words: int = 1
     backend: str = "mapping"
+    cache_blocks: int = 0
+    #: First block id the built disk hands out; sharded dictionaries use
+    #: a strided ``first_id`` per shard so id namespaces stay disjoint.
+    first_id: int = 0
     #: Stats, disk and memory are built from the parameters when left
     #: ``None``; passing them in shares or replaces the machinery (the
     #: sharded router injects a shared stats ledger and a per-shard
-    #: disk with a strided id namespace).
+    #: strided ``first_id``).
     stats: IOStats | None = None
     disk: Disk | None = None
     memory: MemoryBudget | None = None
     hard_memory: bool = True
 
     def __post_init__(self) -> None:
+        if self.cache_blocks < 0:
+            raise ConfigurationError(
+                f"cache_blocks must be non-negative, got {self.cache_blocks}"
+            )
         if self.stats is None:
             self.stats = IOStats(policy=self.policy)
-        if self.disk is None:
-            self.disk = Disk(
-                self.params.b,
-                stats=self.stats,
-                record_words=self.record_words,
-                backend=self.backend,
-            )
         if self.memory is None:
-            self.memory = MemoryBudget(self.params.m, hard=self.hard_memory)
+            capacity = self.params.m + self.cache_blocks * self.params.b
+            self.memory = MemoryBudget(capacity, hard=self.hard_memory)
+        if self.disk is None:
+            if self.cache_blocks > 0:
+                self.disk = CachedDisk(
+                    self.params.b,
+                    cache_blocks=self.cache_blocks,
+                    budget=self.memory,
+                    stats=self.stats,
+                    record_words=self.record_words,
+                    backend=self.backend,
+                    first_id=self.first_id,
+                )
+            else:
+                self.disk = Disk(
+                    self.params.b,
+                    stats=self.stats,
+                    record_words=self.record_words,
+                    backend=self.backend,
+                    first_id=self.first_id,
+                )
+        elif self.cache_blocks > 0:
+            raise ConfigurationError(
+                "cache_blocks requires a context-built disk; "
+                "pass first_id= instead of an explicit disk="
+            )
 
     # -- convenience accessors ---------------------------------------------
 
@@ -130,6 +167,10 @@ class EMContext:
 
     def io_total(self) -> int:
         return self.stats.total
+
+    def cache_stats(self):
+        """The disk's :class:`~repro.em.cache.CacheStats`, or ``None`` uncached."""
+        return self.disk.cache.stats if self.disk.cache is not None else None
 
     def reset_stats(self) -> None:
         self.stats.reset()
@@ -162,19 +203,22 @@ def make_context(
     policy: IOPolicy | None = None,
     record_words: int = 1,
     backend: str = "mapping",
+    cache_blocks: int = 0,
     hard_memory: bool = True,
 ) -> EMContext:
     """Build an :class:`EMContext` with sensible experiment defaults.
 
     Defaults model a 1 KiB block of 8-byte words (``b = 128``), a 32 KiB
     memory (``m = 4096`` words), 61-bit keys (a Mersenne-prime-sized
-    universe that the Carter--Wegman family likes) and the mapping
-    storage backend.
+    universe that the Carter--Wegman family likes), the mapping storage
+    backend, and no cache (``cache_blocks=0`` keeps the disk uncached
+    and the accounting bit-identical to the pre-cache ledgers).
     """
     return EMContext(
         params=ModelParams(b=b, m=m, u=u),
         policy=policy if policy is not None else PAPER_POLICY,
         record_words=record_words,
         backend=backend,
+        cache_blocks=cache_blocks,
         hard_memory=hard_memory,
     )

@@ -93,6 +93,11 @@ class ClientReport:
     ``executed`` is ``None`` for closed-loop runs (everything executes);
     the overload counters then default to zero, so one row schema serves
     both load models — see ``service/README.md`` for the column glossary.
+
+    The cache columns (``hit_rate``, ``negative_hits``) summarise the
+    cluster :class:`~repro.em.cache.CacheStats` delta over the run; an
+    uncached cluster reports them zero-filled, keeping one schema for
+    every configuration.
     """
 
     ops: int
@@ -111,6 +116,8 @@ class ClientReport:
     deadline_exceeded: int = 0
     queue_p50_ms: float = 0.0
     queue_p99_ms: float = 0.0
+    hit_rate: float = 0.0
+    negative_hits: int = 0
 
     @property
     def kops(self) -> float:
@@ -144,6 +151,8 @@ class ClientReport:
             "shed": self.shed,
             "rejected": self.rejected,
             "deadline_exceeded": self.deadline_exceeded,
+            "hit_rate": round(self.hit_rate, 4),
+            "negative_hits": self.negative_hits,
         }
 
 
@@ -186,6 +195,7 @@ class ClosedLoopClient:
         latencies: list[tuple[float, int]] = []
         epochs = 0
         io_total = 0
+        cache_mark = self.service.cache_snapshot()
         t_start = time.perf_counter()
         for lo in range(0, n, self.window):
             hi = min(lo + self.window, n)
@@ -205,6 +215,7 @@ class ClosedLoopClient:
                         "closed-loop check: a delete targeted a non-live key"
                     )
         seconds = time.perf_counter() - t_start
+        cache = self.service.cache_snapshot().delta_since(cache_mark)
         return ClientReport(
             ops=n,
             inserts=int(np.count_nonzero(kinds == OP_INSERT)),
@@ -216,6 +227,8 @@ class ClosedLoopClient:
             p50_ms=_weighted_percentile(latencies, 50) * 1e3,
             p99_ms=_weighted_percentile(latencies, 99) * 1e3,
             max_ms=(max(v for v, _ in latencies) * 1e3) if latencies else 0.0,
+            hit_rate=cache.hit_rate,
+            negative_hits=cache.negative_hits,
         )
 
 
@@ -310,6 +323,7 @@ class OpenLoopClient:
         self._io = 0
         lat = np.zeros(n, dtype=np.float64)
         qdel = np.zeros(n, dtype=np.float64)
+        cache_mark = self.service.cache_snapshot()
         if n == 0:
             makespan = 0.0
         elif self.controller.transparent and self.breaker is None:
@@ -320,6 +334,7 @@ class OpenLoopClient:
         executed = int(np.count_nonzero(exec_mask))
         elat = lat[exec_mask]
         equeue = qdel[exec_mask]
+        cache = self.service.cache_snapshot().delta_since(cache_mark)
         return ClientReport(
             ops=n,
             inserts=int(np.count_nonzero(kinds == OP_INSERT)),
@@ -337,6 +352,8 @@ class OpenLoopClient:
             deadline_exceeded=int(np.count_nonzero(outcomes == EXPIRED)),
             queue_p50_ms=_array_percentile(equeue, 50) * 1e3,
             queue_p99_ms=_array_percentile(equeue, 99) * 1e3,
+            hit_rate=cache.hit_rate,
+            negative_hits=cache.negative_hits,
         )
 
     # -- transparent fast path ----------------------------------------------

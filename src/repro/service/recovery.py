@@ -37,6 +37,7 @@ import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..em.cache import CacheStats
 from .journal import EpochJournal
 from .service import DictionaryService, make_executor
 
@@ -69,6 +70,7 @@ def snapshot_service(service: DictionaryService, path: str | Path) -> None:
         "contexts": service._contexts,
         "tables": service._tables,
         "ledger": service.ledger,
+        "cache": service.cache,
         "epochs_run": service.epochs_run,
         "ops_committed": service.ops_committed,
         "executor": getattr(service.executor, "name", "serial"),
@@ -117,6 +119,12 @@ def restore_service(
     # marks equal to the live per-shard counters — so fresh snapshots
     # reproduce the marks exactly.
     svc._marks = [sub.stats.snapshot() for sub in svc._contexts]
+    # Older snapshots predate the cache ledger; restore them uncached.
+    svc.cache = state.get("cache", CacheStats())
+    svc._cache_marks = [
+        (cs.snapshot() if cs is not None else None)
+        for cs in (sub.cache_stats() for sub in svc._contexts)
+    ]
     svc.epochs_run = state["epochs_run"]
     svc.journal = None
     svc.ops_committed = state["ops_committed"]

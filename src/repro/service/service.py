@@ -41,6 +41,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from ..em.cache import CacheStats
 from ..em.errors import ConfigurationError, StorageFault
 from ..em.iostats import IOSnapshot, IOStats
 from ..em.storage import EMContext
@@ -271,8 +272,16 @@ class DictionaryService:
         #: Cluster I/O ledger: per-shard deltas folded in at epoch close,
         #: ascending shard order.
         self.ledger = IOStats(policy=ctx.policy)
+        #: Cluster cache ledger (all-zero for uncached clusters): the
+        #: per-shard buffer-pool deltas are folded in alongside the I/O
+        #: ledger at epoch close.
+        self.cache = CacheStats()
         self._marks: list[IOSnapshot] = [
             sub.stats.snapshot() for sub in self._contexts
+        ]
+        self._cache_marks: list[CacheStats | None] = [
+            (cs.snapshot() if cs is not None else None)
+            for cs in (sub.cache_stats() for sub in self._contexts)
         ]
         self._tables: list[ExternalDictionary] = [
             shard_factory(sub) for sub in self._contexts
@@ -464,9 +473,12 @@ class DictionaryService:
         ]
 
     def _merge_ledgers(self) -> int:
-        """Fold per-shard ledger deltas into the cluster ledger.
+        """Fold per-shard ledger deltas into the cluster ledgers.
 
         Ascending shard order; returns the epoch's charged I/O total.
+        Cache deltas (cached clusters only) merge alongside the I/O
+        counters so ``hits + misses`` stays aligned with the reads the
+        same epochs charged.
         """
         total = 0
         for i, sub in enumerate(self._contexts):
@@ -474,6 +486,11 @@ class DictionaryService:
             self._marks[i] = sub.stats.snapshot()
             self.ledger.absorb(delta)
             total += delta.total
+            mark = self._cache_marks[i]
+            if mark is not None:
+                shard_cache = sub.cache_stats()
+                self.cache.absorb(shard_cache.delta_since(mark))
+                self._cache_marks[i] = shard_cache.snapshot()
         return total
 
     # -- aggregation / instrumentation --------------------------------------
@@ -497,6 +514,14 @@ class DictionaryService:
     def io_snapshot(self) -> IOSnapshot:
         """Cluster I/O counters (merged ledger) as of the last epoch close."""
         return self.ledger.snapshot()
+
+    def cache_snapshot(self) -> CacheStats:
+        """Cluster cache counters as of the last epoch close.
+
+        All-zero for uncached clusters (``cache_blocks=0``) — reports
+        stay schema-stable across the caching axis.
+        """
+        return self.cache.snapshot()
 
     def shard_io_snapshots(self) -> list[IOSnapshot]:
         """Per-shard ledger snapshots, shard order (determinism tests)."""

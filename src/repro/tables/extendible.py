@@ -145,7 +145,13 @@ class ExtendibleHashTable(ExternalDictionary):
         probes each distinct bucket once with a sorted-membership scan
         — bit-identical counters to the scalar loop, which reads one
         block per key.
+
+        Cached runs take the scalar per-key loop instead: the bulk
+        branch charges reads wholesale without consulting the buffer
+        pool.
         """
+        if self.ctx.disk.cache is not None:
+            return super().lookup_batch(keys, cost_out=cost_out)
         key_list, arr = normalize_keys(keys)
         n = len(key_list)
         out = np.zeros(n, dtype=bool)

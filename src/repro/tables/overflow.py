@@ -220,6 +220,15 @@ def bulk_merge_into(
     :meth:`ChainedBucket.absorb`, which charges through the normal
     path.  I/O totals are bit-identical either way; the parity suite
     exercises both branches.
+
+    On a cached disk each fast-path bucket first consults the buffer
+    pool: a resident frame is a **hit** (the read is not charged, the
+    frame is invalidated before the backend-level append so it can
+    never go stale, and the following write cannot combine — no
+    physical read happened), a non-resident one is a charged **miss**
+    that combines exactly like the uncached arithmetic.  Reads avoided
+    equal hits counted, preserving the
+    ``hits + misses == uncached charged reads`` contract.
     """
     if not parts:
         return
@@ -229,9 +238,12 @@ def bulk_merge_into(
     backend = disk.backend
     gen = disk._gen
     stats = disk.stats
+    cache = disk.cache
     cap = disk.b // disk.record_words
     fast = 0
     nfresh = 0
+    hit_count = 0
+    hit_fresh = 0
     for idx, incoming in parts:
         bkt = buckets[idx]
         if bkt._chain:
@@ -241,20 +253,43 @@ def bulk_merge_into(
         if backend.length(bid) + len(incoming) > cap:
             bkt.absorb(incoming)
             continue
-        if backend.is_fresh(bid):
+        fresh = backend.is_fresh(bid)
+        if fresh:
             nfresh += 1
+        if cache is not None and cache.is_resident(bid):
+            cache.invalidate(bid, discard=True)
+            hit_count += 1
+            if fresh:
+                hit_fresh += 1
         backend.append(bid, incoming)
         gen[bid] = gen.get(bid, 0) + 1
         fast += 1
     if fast:
         policy = stats.policy
-        stats.reads += fast
         stats.allocations += nfresh
-        charged_writes = fast if policy.charge_allocation else fast - nfresh
-        if policy.combine_rmw:
-            stats.combined += charged_writes
+        if cache is None:
+            stats.reads += fast
+            charged_writes = fast if policy.charge_allocation else fast - nfresh
+            if policy.combine_rmw:
+                stats.combined += charged_writes
+            else:
+                stats.writes += charged_writes
         else:
-            stats.writes += charged_writes
+            miss_count = fast - hit_count
+            cache.stats.hits += hit_count
+            cache.stats.misses += miss_count
+            stats.reads += miss_count
+            if policy.charge_allocation:
+                miss_charged = miss_count
+                hit_charged = hit_count
+            else:
+                miss_charged = miss_count - (nfresh - hit_fresh)
+                hit_charged = hit_count - hit_fresh
+            if policy.combine_rmw:
+                stats.combined += miss_charged
+            else:
+                stats.writes += miss_charged
+            stats.writes += hit_charged
     stats._last_read_block = None
 
 
@@ -279,6 +314,7 @@ def bulk_fill_buckets(
     backend = disk.backend
     gen = disk._gen
     stats = disk.stats
+    cache = disk.cache
     cap = disk.b // disk.record_words
     written = 0
     for idx, items in parts:
@@ -287,6 +323,11 @@ def bulk_fill_buckets(
             bkt.replace_all(items)
             continue
         bid = bkt.primary
+        if cache is not None:
+            # Fresh targets are normally never resident; invalidate
+            # defensively so a stale frame can never survive the
+            # backend-level overwrite.
+            cache.invalidate(bid, discard=True)
         backend.replace(bid, items)
         gen[bid] = gen.get(bid, 0) + 1
         written += 1

@@ -42,7 +42,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..em.disk import Disk
+from ..em.cache import CacheStats
 from ..em.errors import ConfigurationError
 from ..em.iostats import IOStats
 from ..em.storage import EMContext
@@ -79,6 +79,11 @@ def shard_view(
     accumulates in one place.  Passing ``stats`` swaps in a different
     ledger — the service layer gives each shard machine a private one so
     concurrent shards never race on a shared counter object.
+
+    The parent's ``cache_blocks`` axis is inherited: each shard machine
+    gets its **own** buffer pool of that many frames, charged against
+    its own memory budget (the context builds a
+    :class:`~repro.em.cache.CachedDisk` when the axis is positive).
     """
     if stats is None:
         stats = parent.stats
@@ -87,14 +92,9 @@ def shard_view(
         policy=parent.policy,
         record_words=parent.record_words,
         backend=parent.backend,
+        cache_blocks=parent.cache_blocks,
+        first_id=index * SHARD_ID_STRIDE,
         stats=stats,
-        disk=Disk(
-            parent.params.b,
-            stats=stats,
-            record_words=parent.record_words,
-            backend=parent.backend,
-            first_id=index * SHARD_ID_STRIDE,
-        ),
         hard_memory=parent.hard_memory,
     )
 
@@ -308,6 +308,22 @@ class ShardedDictionary(ExternalDictionary):
 
     def nonempty_disk_blocks(self) -> int:
         return sum(sub.disk.nonempty_blocks() for sub in self._contexts)
+
+    def cache_stats(self):
+        """Summed per-shard :class:`~repro.em.cache.CacheStats`, or ``None``.
+
+        ``None`` when the cluster runs uncached (``cache_blocks=0``);
+        otherwise a fresh aggregate — pure counter addition over the
+        shard pools, so it is independent of shard execution order.
+        """
+        per_shard = [sub.cache_stats() for sub in self._contexts]
+        if not any(s is not None for s in per_shard):
+            return None
+        agg = CacheStats()
+        for s in per_shard:
+            if s is not None:
+                agg.absorb(s)
+        return agg
 
     # -- instrumentation -------------------------------------------------------
 

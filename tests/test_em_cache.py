@@ -151,3 +151,112 @@ def test_resident_order_is_lru_first(disk):
     pool.get(ids[0])
     assert pool.resident() == [ids[1], ids[2], ids[0]]
     assert len(pool) == 3
+
+
+class TestCopySemantics:
+    def test_get_returns_private_copy(self, disk):
+        """Mutating a ``get()`` result must never reach the frame: the
+        frame would silently diverge from its dirty tracking."""
+        ids = fill(disk, 1)
+        pool = BufferPool(disk, 2)
+        blk = pool.get(ids[0])
+        blk.append(424242)
+        again = pool.get(ids[0])
+        assert again.records() == [ids[0]]  # aliasing regression
+        pool.invalidate(ids[0])  # clean frame: nothing written back
+        assert disk.peek(ids[0]).records() == [ids[0]]
+
+    def test_get_copy_false_loans_live_frame(self, disk):
+        ids = fill(disk, 1)
+        pool = BufferPool(disk, 2)
+        pool.get(ids[0])
+        loan = pool.get(ids[0], copy=False)
+        assert loan is pool.get(ids[0], copy=False)
+
+    def test_put_then_get_does_not_alias_the_frame(self, disk):
+        ids = fill(disk, 1)
+        pool = BufferPool(disk, 2)
+        pool.put(ids[0], Block(4, data=[7]))
+        got = pool.get(ids[0])
+        got.append(8)
+        pool.invalidate(ids[0])  # writes back the dirty frame
+        assert disk.peek(ids[0]).records() == [7]
+
+
+class TestStatsLifecycle:
+    def test_negative_hits_outside_hit_rate(self):
+        from repro.em.cache import CacheStats
+
+        s = CacheStats(hits=3, misses=1, negative_hits=10)
+        assert s.accesses == 4
+        assert s.hit_rate == pytest.approx(0.75)
+
+    def test_snapshot_delta_absorb_roundtrip(self):
+        from repro.em.cache import CacheStats
+
+        s = CacheStats(hits=5, misses=2, negative_hits=1, writebacks=1,
+                       evictions=3)
+        snap = s.snapshot()
+        s.hits += 10
+        s.misses += 4
+        s.negative_hits += 2
+        d = s.delta_since(snap)
+        assert (d.hits, d.misses, d.negative_hits) == (10, 4, 2)
+        assert (d.writebacks, d.evictions) == (0, 0)
+        agg = CacheStats()
+        agg.absorb(snap)
+        agg.absorb(d)
+        assert agg == s
+
+    def test_clear_preserves_stats(self, disk):
+        ids = fill(disk, 2)
+        pool = BufferPool(disk, 4)
+        pool.get(ids[0])
+        pool.get(ids[0])
+        pool.get(ids[1])
+        pool.clear()
+        assert len(pool) == 0
+        assert pool.stats.hits == 1 and pool.stats.misses == 2
+
+    def test_close_preserves_stats(self, disk):
+        ids = fill(disk, 1)
+        budget = MemoryBudget(100)
+        pool = BufferPool(disk, 2, budget=budget, owner="pool")
+        pool.get(ids[0])
+        pool.get(ids[0])
+        pool.close()
+        assert budget.charge_of("pool") == 0
+        assert pool.stats.hits == 1 and pool.stats.misses == 1
+
+
+class TestOnEvictHook:
+    def _hooked(self, disk, capacity):
+        pool = BufferPool(disk, capacity)
+        dropped: list[int] = []
+        pool.on_evict = dropped.append
+        return pool, dropped
+
+    def test_fires_on_lru_eviction(self, disk):
+        ids = fill(disk, 3)
+        pool, dropped = self._hooked(disk, 2)
+        for bid in ids:
+            pool.get(bid)
+        assert dropped == [ids[0]]
+        assert pool.stats.evictions == 1
+
+    def test_fires_on_invalidate(self, disk):
+        ids = fill(disk, 1)
+        pool, dropped = self._hooked(disk, 2)
+        pool.get(ids[0])
+        pool.invalidate(ids[0], discard=True)
+        assert dropped == [ids[0]]
+        pool.invalidate(ids[0], discard=True)  # absent: no callback
+        assert dropped == [ids[0]]
+
+    def test_fires_on_clear_for_every_frame(self, disk):
+        ids = fill(disk, 3)
+        pool, dropped = self._hooked(disk, 4)
+        for bid in ids:
+            pool.get(bid)
+        pool.clear()
+        assert sorted(dropped) == sorted(ids)
