@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: help test test-fast chaos-test overload-test bench cache-bench service-bench slo-bench bench-all clean
+.PHONY: help test test-fast chaos-test overload-test bench cache-bench service-bench slo-bench skew-bench bench-all clean
 
 ## Print the entry points (tier-1 invocation included).
 help:
@@ -17,6 +17,7 @@ help:
 	@echo "  make cache-bench   cold-vs-warm BufferPool rows + plots/*.dat curves -> BENCH_cache.json"
 	@echo "  make service-bench mixed-op service rows (incl. durable+journal leg) -> BENCH_service.json"
 	@echo "  make slo-bench     latency vs offered load sweep + breaker chaos -> BENCH_service.json"
+	@echo "  make skew-bench    static-vs-adaptive routing skew matrix + plots -> BENCH_skew.json"
 	@echo "  make bench-all     every paper-artifact benchmark (slow)"
 	@echo "  make clean         remove caches"
 
@@ -25,12 +26,14 @@ test:
 	$(PY) -m pytest tests/ -x -q
 
 ## Quick subset for inner-loop development (tables + parity + EM layer,
-## buffer-pool unit tests + the cached-vs-uncached relabelling contract).
+## buffer-pool unit tests, the cached-vs-uncached relabelling contract,
+## and the skew-routing contracts: slot directory, rebalancer policy,
+## migration journal, generator determinism).
 test-fast:
 	$(PY) -m pytest tests/test_batch_parity.py tests/test_em_disk.py \
 	    tests/test_em_iostats.py tests/test_em_cache.py \
 	    tests/test_cache_axis.py tests/test_buffered.py \
-	    tests/test_logmethod.py -q
+	    tests/test_logmethod.py tests/test_rebalance.py -q
 
 ## Crash-consistency only: the chaos matrix (crash at every epoch
 ## boundary + sampled intra-epoch backend ops, per policy x backend,
@@ -82,8 +85,17 @@ service-bench:
 ## row).  Also writes BENCH_service.json (headline numbers land in
 ## extra_info under test_service_slo_sweep).
 slo-bench:
-	$(PY) -m pytest benchmarks/bench_service_slo.py --benchmark-only -s -q \
-	    --benchmark-json=BENCH_service.json
+	REPRO_PLOT_DIR=plots $(PY) -m pytest benchmarks/bench_service_slo.py \
+	    --benchmark-only -s -q --benchmark-json=BENCH_service.json
+
+## Skew axis: the static-vs-adaptive routing matrix (router-correlated
+## adversarial + hot-Zipf gate legs at n=1e6, the wider distribution
+## matrix at smaller n, the ratio-cut and charged-I/O goodput gates,
+## and the no-free-moves migration accounting).  Writes BENCH_skew.json
+## and drops per-window imbalance series under plots/ for gnuplot.
+skew-bench:
+	REPRO_PLOT_DIR=plots $(PY) -m pytest benchmarks/bench_skew.py \
+	    --benchmark-only -s -q --benchmark-json=BENCH_skew.json
 
 ## Every paper-artifact benchmark (slow; prints the reproduced tables).
 bench-all:

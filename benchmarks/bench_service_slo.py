@@ -53,6 +53,7 @@ from repro.service import (
 from repro.workloads.trace import BulkMixedWorkload
 
 from conftest import emit, once
+from plotdata import write_series
 
 B, M, U = 1024, 4096, 2**61 - 1
 N = 120_000
@@ -162,6 +163,24 @@ def test_service_slo_sweep(benchmark):
         f"Open-loop latency vs offered load (capacity {capacity_kops:.1f} "
         f"kops, shed policy, SLO p99 <= {SLO_MS:g} ms)",
         rows,
+    )
+
+    # Per-config series for the plotting pipeline (opt-in via
+    # $REPRO_PLOT_DIR, e.g. `make slo-bench`): the shed-policy sweep and
+    # the deadline leg land as separate .dat files keyed by offered load.
+    series_cols = (
+        "load_x", "goodput_kops", "p50_ms", "p99_ms", "queue_p99",
+        "shed", "rejected", "deadline_exceeded",
+    )
+    write_series(
+        "slo_sweep_shed",
+        [r for r in rows if isinstance(r["load_x"], float)],
+        columns=series_cols,
+    )
+    write_series(
+        "slo_deadline",
+        [dict(deadline_rep.row(), load_x=LOADS[-1])],
+        columns=series_cols,
     )
 
     sweep_rows = [r for r in rows if isinstance(r["load_x"], float)]

@@ -1,0 +1,350 @@
+"""SKEW MATRIX — static vs. adaptive routing under hostile key streams.
+
+The static router splits keys ``hash % N`` forever; every other
+benchmark drives it with hash-uniform distinct keys, which are balanced
+*by construction* whatever the distribution's shape over key space —
+the router hash destroys the correlation.  Skew that actually hurts a
+sharded dictionary must correlate with the *router*, so this harness
+builds the two streams that do:
+
+* **adversarial buckets** — rejection-sampled keys that all land in
+  router bucket 0 of ``SHARDS`` (the Lemma-2 "planted bad function"
+  geometry aimed at the routing layer instead of the table);
+* **hot-range Zipf** — Zipf(θ=1.2) ranks confined to the same hot
+  bucket: the skewed-popularity variant of the same attack.
+
+Under the static map both pin every op — inserts, and therefore the
+hit-lookups and deletes drawn from the live set — onto shard 0 of 8
+(worst/mean charged-I/O ratio ≈ 8) while seven shard machines idle.
+The adaptive service observes per-slot load at epoch close and migrates
+hot slots between epochs (``tables/rebalance.py``), spreading the 64
+hot slots across the cluster.
+
+A wider matrix (uniform / Zipf θ sweep / clustered / sequential /
+adversarial at smaller n) records honestly that router-uncorrelated
+skew stays balanced and relabelling never changes results.
+
+Asserted gates (ISSUE 9), on both hostile legs at n = 10⁶ over the
+sharded(8) arena config:
+
+* **ratio cut** — adaptive routing cuts the cumulative worst/mean
+  charged-I/O ratio by ≥ 2× vs. the static router;
+* **goodput** — adaptive goodput ≥ 1.15× static at the same config,
+  measured in the repo's currency: ops per charged I/O.  The hot
+  shard's table is ~8× oversized under static routing and the buffered
+  table's per-op I/O grows with table size, so balancing genuinely
+  *saves* I/O — the win the issue targets ("less charged I/O under
+  skew, not just more parallelism"); a 1-core VM's wall clock cannot
+  express eight shard machines, so wall kops and the critical-path I/O
+  (busiest machine per epoch, what a real cluster would wait on) are
+  reported alongside, not gated;
+* **no free moves** — migration I/O is charged (> 0), included in the
+  adaptive leg's goodput denominator, and reported;
+* **relabelling** — lookup/delete results and final cluster size are
+  identical static vs. adaptive, per leg.
+
+With ``$REPRO_PLOT_DIR`` set (``make skew-bench``), per-window
+imbalance time series land as ``plots/skew_<leg>_{static,adaptive}.dat``
+and the matrix as ``plots/skew_matrix.dat``.  Headline numbers land in
+``benchmark.extra_info`` → ``BENCH_skew.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.buffered import BufferedHashTable
+from repro.em import make_context
+from repro.hashing.family import MULTIPLY_SHIFT
+from repro.service import DictionaryService
+from repro.tables.sharded import _ROUTER_SEED
+from repro.workloads.generators import (
+    AdversarialBucketKeys,
+    ClusteredKeys,
+    SequentialKeys,
+    UniformKeys,
+    ZipfKeys,
+)
+from repro.workloads.trace import BulkMixedWorkload
+
+from conftest import emit, once
+from plotdata import write_series
+
+B, M, U = 1024, 4096, 2**61 - 1
+SHARDS = 8
+WINDOW = 8192
+MIX = (0.25, 0.60, 0.10, 0.05)
+#: Gate legs (the two router-correlated attacks).
+GATE_N = 1_000_000
+#: Wider matrix legs (report-only rows).
+MATRIX_N = 200_000
+ZIPF_THETAS = (1.1, 1.2, 1.4)
+#: Acceptance gates.
+REQUIRED_RATIO_CUT = 2.0
+REQUIRED_GOODPUT_RATIO = 1.15
+
+
+def _router():
+    return MULTIPLY_SHIFT.sample(U, seed=_ROUTER_SEED)
+
+
+class HotRangeZipfKeys(ZipfKeys):
+    """Zipf-popular keys confined to the router's hot bucket.
+
+    The Zipf mixer scatters ranks over all of ``U``; the rejection step
+    keeps only keys whose *router* bucket is hot, so popularity skew and
+    placement skew attack the same shard — the compound worst case.
+    """
+
+    def __init__(self, u, seed=0, *, theta, hash_fn, buckets, hot=1):
+        super().__init__(u, seed, theta=theta)
+        self.hash_fn, self.buckets, self.hot = hash_fn, buckets, hot
+
+    def _candidates(self, count: int) -> np.ndarray:
+        cand = super()._candidates(count * max(2, self.buckets // self.hot + 1))
+        keep = cand[
+            self.hash_fn.bucket_array(cand, self.buckets) < np.uint64(self.hot)
+        ]
+        return keep[:count]
+
+
+def _generator(leg: str):
+    """A fresh seeded generator per (leg, run) — streams must match."""
+    if leg == "uniform":
+        return UniformKeys(U, seed=62)
+    if leg.startswith("zipf-"):
+        return ZipfKeys(U, seed=62, theta=float(leg.split("-", 1)[1]))
+    if leg == "clustered":
+        return ClusteredKeys(U, seed=62, clusters=8)
+    if leg == "sequential":
+        return SequentialKeys(U, seed=62, start=1, stride=3)
+    if leg == "adversarial":
+        return AdversarialBucketKeys(
+            U, seed=62, hash_fn=_router(), buckets=SHARDS, hot=1
+        )
+    if leg == "hot-zipf":
+        return HotRangeZipfKeys(
+            U, seed=62, theta=1.2, hash_fn=_router(), buckets=SHARDS, hot=1
+        )
+    raise ValueError(leg)
+
+
+def _stream(leg: str, n: int):
+    wl = BulkMixedWorkload(_generator(leg), mix=MIX, seed=63, chunk=WINDOW)
+    return wl.take_arrays(n)
+
+
+def _table_factory(ctx):
+    return BufferedHashTable(ctx, MULTIPLY_SHIFT.sample(ctx.u, seed=61))
+
+
+def _drive(kinds, keys, *, adaptive: bool) -> dict:
+    """One closed-loop run, window by window, sampling per-window skew.
+
+    Construction I/O is excluded from the skew accounting (marks are
+    taken before the drive): the question is where the *traffic* lands.
+    Migration drains run between windows and are part of the adaptive
+    run's charged totals and wall time — no free moves.
+    """
+    ctx = make_context(b=B, m=M, u=U, backend="arena")
+    with DictionaryService(
+        ctx,
+        _table_factory,
+        shards=SHARDS,
+        epoch_ops=WINDOW,
+        rebalance=True if adaptive else None,
+    ) as svc:
+        marks = svc.shard_io_snapshots()
+        base = list(marks)
+        found_parts, removed_parts, series = [], [], []
+        window_s: list[float] = []
+        critical_io = 0
+        n = len(kinds)
+        t0 = time.perf_counter()
+        for i, lo in enumerate(range(0, n, WINDOW)):
+            t1 = time.perf_counter()
+            run = svc.run(kinds[lo : lo + WINDOW], keys[lo : lo + WINDOW])
+            window_s.append(time.perf_counter() - t1)
+            found_parts.append(run.lookup_found)
+            removed_parts.append(run.delete_removed)
+            snaps = svc.shard_io_snapshots()
+            deltas = [(s - m).total for s, m in zip(snaps, marks)]
+            marks = snaps
+            total = sum(deltas)
+            critical_io += max(deltas)
+            series.append(
+                {
+                    "window": i,
+                    "io": total,
+                    "imbalance": round(max(deltas) * SHARDS / total, 3)
+                    if total
+                    else 0.0,
+                    "migrated_slots": svc.migrated_slots,
+                }
+            )
+        seconds = time.perf_counter() - t0
+        totals = [(s - m).total for s, m in zip(svc.shard_io_snapshots(), base)]
+        return {
+            "kops": len(kinds) / seconds / 1e3,
+            "p99_ms": float(np.percentile(window_s, 99)) * 1e3,
+            "ops_per_io": len(kinds) / sum(totals),
+            "total_io": sum(totals),
+            "critical_io": critical_io,
+            "ratio": max(totals) * SHARDS / sum(totals),
+            "shard_io": totals,
+            "series": series,
+            "found": np.concatenate(found_parts),
+            "removed": np.concatenate(removed_parts),
+            "size": len(svc),
+            "migrated_slots": svc.migrated_slots,
+            "keys_moved": svc.keys_moved,
+            "migration_io": svc.migration_io,
+            "migrations": svc.migrations_applied,
+        }
+
+
+def _row(leg, n, mode, r) -> dict:
+    return {
+        "leg": leg,
+        "n": n,
+        "routing": mode,
+        "kops": round(r["kops"], 1),
+        "p99_ms": round(r["p99_ms"], 2),
+        "io": r["total_io"],
+        "crit_io": r["critical_io"],
+        "ops/io": round(r["ops_per_io"], 3),
+        "worst/mean": round(r["ratio"], 2),
+        "migrations": r["migrations"],
+        "migrated_slots": r["migrated_slots"],
+        "keys_moved": r["keys_moved"],
+        "migration_io": r["migration_io"],
+    }
+
+
+def _assert_relabelling(leg, static, adaptive) -> None:
+    assert np.array_equal(static["found"], adaptive["found"]), leg
+    assert np.array_equal(static["removed"], adaptive["removed"]), leg
+    assert static["size"] == adaptive["size"], leg
+
+
+def test_skew_matrix(benchmark):
+    gate_legs = ("adversarial", "hot-zipf")
+    matrix_legs = (
+        "uniform",
+        *(f"zipf-{t}" for t in ZIPF_THETAS),
+        "clustered",
+        "sequential",
+        "adversarial",
+    )
+
+    def sweep():
+        gates, matrix = {}, {}
+        for leg in gate_legs:
+            kinds, keys = _stream(leg, GATE_N)
+            gates[leg] = (
+                _drive(kinds, keys, adaptive=False),
+                _drive(kinds, keys, adaptive=True),
+            )
+        for leg in matrix_legs:
+            kinds, keys = _stream(leg, MATRIX_N)
+            matrix[leg] = (
+                _drive(kinds, keys, adaptive=False),
+                _drive(kinds, keys, adaptive=True),
+            )
+        return gates, matrix
+
+    gates, matrix = once(benchmark, sweep)
+
+    rows = []
+    for leg in gates:
+        static, adaptive = gates[leg]
+        _assert_relabelling(leg, static, adaptive)
+        rows.append(_row(leg, GATE_N, "static", static))
+        rows.append(_row(leg, GATE_N, "adaptive", adaptive))
+        for mode, r in (("static", static), ("adaptive", adaptive)):
+            write_series(
+                f"skew_{leg.replace('-', '_')}_{mode}",
+                r["series"],
+                columns=("window", "io", "imbalance", "migrated_slots"),
+            )
+    matrix_rows = []
+    for leg in matrix:
+        static, adaptive = matrix[leg]
+        _assert_relabelling(leg, static, adaptive)
+        matrix_rows.append(_row(leg, MATRIX_N, "static", static))
+        matrix_rows.append(_row(leg, MATRIX_N, "adaptive", adaptive))
+    write_series(
+        "skew_matrix",
+        [dict(r) for r in rows + matrix_rows],
+        columns=(
+            "leg", "n", "routing", "kops", "worst/mean",
+            "migrated_slots", "migration_io",
+        ),
+    )
+    emit(
+        f"Skew gates: static vs adaptive routing, n={GATE_N:,}, "
+        f"sharded({SHARDS}) arena, epoch {WINDOW}",
+        rows,
+    )
+    emit(f"Skew matrix, n={MATRIX_N:,} (report-only rows)", matrix_rows)
+
+    # -- acceptance gates -------------------------------------------------
+    for leg in gate_legs:
+        static, adaptive = gates[leg]
+        cut = static["ratio"] / adaptive["ratio"]
+        # Goodput in the EM cost model: ops per charged I/O, migration
+        # charges included in the adaptive denominator (no free moves).
+        goodput = adaptive["ops_per_io"] / static["ops_per_io"]
+        # The attack really concentrates the static cluster's traffic.
+        assert static["ratio"] >= 0.8 * SHARDS, (leg, static["ratio"])
+        assert cut >= REQUIRED_RATIO_CUT, (
+            f"{leg}: adaptive routing must cut the worst/mean charged-I/O "
+            f"ratio >= {REQUIRED_RATIO_CUT}x, got {cut:.2f}x "
+            f"({static['ratio']:.2f} -> {adaptive['ratio']:.2f})"
+        )
+        assert goodput >= REQUIRED_GOODPUT_RATIO, (
+            f"{leg}: adaptive goodput (ops per charged I/O, migration "
+            f"included) must reach {REQUIRED_GOODPUT_RATIO}x static, got "
+            f"{goodput:.3f}x ({static['total_io']} -> "
+            f"{adaptive['total_io']} I/Os for {GATE_N} ops)"
+        )
+        # Migration work is charged and reported, never free.
+        assert adaptive["migrations"] > 0 and adaptive["migrated_slots"] > 0
+        assert adaptive["migration_io"] > 0
+        assert static["migration_io"] == 0
+        benchmark.extra_info[f"{leg}_static_ratio"] = round(static["ratio"], 2)
+        benchmark.extra_info[f"{leg}_adaptive_ratio"] = round(adaptive["ratio"], 2)
+        benchmark.extra_info[f"{leg}_ratio_cut"] = round(cut, 2)
+        benchmark.extra_info[f"{leg}_goodput_ratio"] = round(goodput, 3)
+        benchmark.extra_info[f"{leg}_static_kops"] = round(static["kops"], 1)
+        benchmark.extra_info[f"{leg}_adaptive_kops"] = round(adaptive["kops"], 1)
+        benchmark.extra_info[f"{leg}_critical_io_cut"] = round(
+            static["critical_io"] / adaptive["critical_io"], 2
+        )
+        benchmark.extra_info[f"{leg}_migration_io"] = adaptive["migration_io"]
+
+    # Router-uncorrelated skew is already balanced: the adaptive service
+    # must leave well enough alone (uniform leg, cheapest check).  Buffer
+    # flushes make individual windows bursty enough to trip an occasional
+    # probe migration, so the bound is negligible churn, not literal zero:
+    # migration I/O under 1% of the leg's charged I/O.
+    uni_static, uni_adaptive = matrix["uniform"]
+    assert uni_static["ratio"] < 1.5
+    assert uni_adaptive["migration_io"] < 0.01 * uni_adaptive["total_io"], (
+        f"uniform leg churned: {uni_adaptive['migration_io']} migration I/Os "
+        f"vs {uni_adaptive['total_io']} total"
+    )
+
+    benchmark.extra_info["gate_rows"] = rows
+    benchmark.extra_info["matrix_rows"] = matrix_rows
+    print(
+        "skew gates: "
+        + "; ".join(
+            f"{leg}: ratio {gates[leg][0]['ratio']:.2f}->"
+            f"{gates[leg][1]['ratio']:.2f}, "
+            f"kops {gates[leg][0]['kops']:.0f}->{gates[leg][1]['kops']:.0f}"
+            for leg in gate_legs
+        )
+    )

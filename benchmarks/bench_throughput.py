@@ -81,10 +81,13 @@ import numpy as np
 
 from repro.baselines.lsm import LSMTree
 from repro.core.buffered import BufferedHashTable
+from repro.core.config import KEY_DISTS
 from repro.em import STRICT_POLICY, make_context
 from repro.hashing.family import MULTIPLY_SHIFT
 from repro.service import ClosedLoopClient, DictionaryService, EpochJournal
 from repro.tables import ShardedDictionary
+from repro.tables.sharded import _ROUTER_SEED
+from repro.workloads.generators import make_generator
 from repro.workloads.trace import (
     OP_DELETE,
     OP_INSERT,
@@ -485,6 +488,82 @@ def test_service_mixed_throughput(benchmark):
         f"{gate['durable_kops']:.1f} vs {gate['serial_kops']:.1f} kops "
         f"(best paired ratio {durable_ratio:.2f})"
     )
+
+
+#: Key-distribution axis scale (report rows; the adversarial deep-dive
+#: with the adaptive-routing gates lives in ``bench_skew.py``).
+KEY_DIST_N = 200_000
+
+
+def _key_dist_generator(dist: str):
+    """A ``--key-dist`` generator exactly as the CLI builds it."""
+    if dist == "zipf":
+        return make_generator("zipf", U, 62, theta=1.2)
+    if dist == "adversarial":
+        router = MULTIPLY_SHIFT.sample(U, seed=_ROUTER_SEED)
+        return make_generator(
+            "adversarial", U, 62, hash_fn=router, buckets=SERVICE_SHARDS, hot=1
+        )
+    return make_generator(dist, U, 62)
+
+
+def test_service_key_dist_throughput(benchmark):
+    """The ``--key-dist`` axis: the service under every key distribution.
+
+    One serial closed-loop run per distribution on the sharded(8) arena
+    config — the same mixed stream recipe as the main service rows, with
+    only the key generator swapped (exactly what ``repro serve
+    --key-dist ...`` does).  The recorded shape documents the routing
+    story the skew matrix digs into: hash-uniform *distinct* keys are
+    balanced whatever the distribution looks like over key space, so
+    every leg except the router-correlated adversarial one shows a
+    worst/mean charged-I/O ratio near 1; the adversarial leg pins the
+    whole stream on one shard (ratio ≈ SHARDS under static routing).
+    """
+
+    def sweep():
+        rows = []
+        for dist in KEY_DISTS:
+            wl = BulkMixedWorkload(
+                _key_dist_generator(dist),
+                mix=SERVICE_MIX,
+                seed=63,
+                chunk=SERVICE_WINDOW,
+            )
+            kinds, keys = wl.take_arrays(KEY_DIST_N)
+            leg = _run_service(kinds, keys, "serial")
+            shard_io = [r + w for r, w, _, _ in leg["shard_ledgers"]]
+            rep = leg["report"]
+            rows.append(
+                {
+                    "key_dist": dist,
+                    "n": KEY_DIST_N,
+                    "kops": rep.row()["kops"],
+                    "p99_ms": rep.row()["p99_ms"],
+                    "ios": sum(leg["io"][:2]),
+                    "worst/mean": round(
+                        max(shard_io) * SERVICE_SHARDS / sum(shard_io), 2
+                    ),
+                }
+            )
+        return rows
+
+    rows = once(benchmark, sweep)
+    emit(
+        f"Service key-dist axis (serial, arena x{SERVICE_SHARDS}, "
+        f"static routing, n={KEY_DIST_N})",
+        rows,
+    )
+    by_dist = {r["key_dist"]: r for r in rows}
+    assert set(by_dist) == set(KEY_DISTS)
+    # Hash-uniform distinct keys balance regardless of distribution
+    # shape; only router-correlated skew concentrates.
+    for dist in KEY_DISTS:
+        if dist == "adversarial":
+            assert by_dist[dist]["worst/mean"] >= 0.8 * SERVICE_SHARDS, rows
+        else:
+            assert by_dist[dist]["worst/mean"] < 1.5, rows
+    benchmark.extra_info["key_dist_rows"] = rows
 
 
 def test_batch_throughput(benchmark):

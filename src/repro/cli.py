@@ -43,6 +43,7 @@ from .baselines.lsm import LSMTree
 from .core.buffered import BufferedHashTable
 from .core.config import (
     ARRIVAL_KINDS,
+    KEY_DISTS,
     OVERLOAD_POLICIES,
     BufferedParams,
     StorageConfig,
@@ -55,9 +56,9 @@ from .core.tradeoff import figure1_curves
 from .em import BACKENDS, make_context
 from .hashing.family import MULTIPLY_SHIFT
 from .tables.chaining import ChainedHashTable
-from .tables.sharded import make_sharded
+from .tables.sharded import _ROUTER_SEED, make_sharded
 from .workloads.drivers import measure_table
-from .workloads.generators import UniformKeys
+from .workloads.generators import UniformKeys, make_generator
 from .workloads.trace import MixedWorkload, replay
 
 
@@ -276,6 +277,25 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _make_keygen(args, u: int):
+    """Build the ``serve`` key stream for ``--key-dist``.
+
+    The adversarial stream attacks the service's own slot router (the
+    fixed-seed hash every service instance shares), concentrating all
+    keys on the buckets that map to shard 0 under static routing —
+    the worst case the rebalancer exists to absorb.
+    """
+    if args.key_dist == "zipf":
+        return make_generator("zipf", u, args.seed, theta=args.zipf_theta)
+    if args.key_dist == "adversarial":
+        router = MULTIPLY_SHIFT.sample(u, seed=_ROUTER_SEED)
+        return make_generator(
+            "adversarial", u, args.seed,
+            hash_fn=router, buckets=max(args.shards, 2), hot=1,
+        )
+    return make_generator(args.key_dist, u, args.seed)
+
+
 def _traffic(args) -> TrafficConfig:
     return TrafficConfig(
         arrival=args.arrival,
@@ -297,6 +317,15 @@ def _validate_serve(args) -> str | None:
         return f"--epoch-ops must be positive, got {args.epoch_ops}"
     if args.window <= 0:
         return f"--window must be positive, got {args.window}"
+    if args.key_dist == "zipf" and not args.zipf_theta > 1.0:
+        return f"--zipf-theta must exceed 1.0, got {args.zipf_theta}"
+    if args.slots is not None and (
+        args.slots <= 0 or args.slots % args.shards != 0
+    ):
+        return (
+            f"--slots must be a positive multiple of --shards "
+            f"(got slots={args.slots}, shards={args.shards})"
+        )
     try:
         _traffic(args)
     except ConfigurationError as exc:
@@ -330,7 +359,7 @@ def cmd_serve(args) -> int:
         cache_blocks=storage.cache_blocks,
     )
     wl = BulkMixedWorkload(
-        UniformKeys(ctx.u, args.seed),
+        _make_keygen(args, ctx.u),
         mix=tuple(args.mix),
         seed=args.seed + 1,
         chunk=args.window,  # chunk-aligned windows maximise epoch sizes
@@ -344,6 +373,8 @@ def cmd_serve(args) -> int:
         executor=args.executor,
         epoch_ops=args.epoch_ops,
         journal=journal,
+        slots=args.slots,
+        rebalance=args.rebalance or None,
     ) as svc:
         if args.snapshot:
             # The t=0 checkpoint: `repro recover` rebuilds the final
@@ -363,8 +394,13 @@ def cmd_serve(args) -> int:
         else:
             report = ClosedLoopClient(svc, window=args.window).drive(kinds, keys)
         print(format_rows([dict(report.row(), arrival=traffic.arrival,
-                                executor=args.executor,
-                                shards=args.shards, backend=args.backend)]))
+                                executor=args.executor, shards=args.shards,
+                                backend=args.backend,
+                                key_dist=args.key_dist)]))
+        if svc.rebalancer is not None:
+            print(f"\nrebalance: {svc.migrations_applied} migrations, "
+                  f"{svc.migrated_slots} slots / {svc.keys_moved} keys moved, "
+                  f"{svc.migration_io} I/Os charged")
         io = svc.io_snapshot()
         print(f"\ncluster I/O: {io.reads + io.writes} "
               f"(reads={io.reads} writes={io.writes} combined={io.combined}), "
@@ -566,6 +602,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="epoch write-ahead journal file (enables durability)")
     p.add_argument("--snapshot", default=None, metavar="PATH",
                    help="write a t=0 service checkpoint before driving")
+    p.add_argument(
+        "--key-dist",
+        choices=list(KEY_DISTS),
+        default="uniform",
+        help="key distribution of the request stream (adversarial targets "
+        "the service's own shard router)",
+    )
+    p.add_argument("--zipf-theta", type=float, default=1.2, metavar="θ",
+                   help="Zipf exponent for --key-dist zipf (must exceed 1)")
+    p.add_argument(
+        "--rebalance",
+        action="store_true",
+        help="enable skew-adaptive slot rebalancing between epochs",
+    )
+    p.add_argument(
+        "--slots",
+        type=int,
+        default=None,
+        metavar="S",
+        help="slot-directory size (multiple of --shards; default 64/shard)",
+    )
     _add_traffic(p)
     p.set_defaults(func=cmd_serve)
 

@@ -105,9 +105,72 @@ class DurabilityConfig:
             )
 
 
+@dataclass(frozen=True)
+class RebalanceConfig:
+    """Knobs of the skew-adaptive slot rebalancer.
+
+    The rebalancer watches per-shard charged I/O over a sliding window
+    of epochs and, when the worst shard's share exceeds ``threshold``
+    times the mean, migrates that shard's hottest slots (by windowed op
+    count) to the least-loaded shards — at most ``max_moves`` slots per
+    decision, then ``cooldown`` epochs of quiet so each migration's
+    effect is observed before the next.
+
+    Attributes
+    ----------
+    threshold:
+        Worst-shard/mean-shard charged-I/O ratio that triggers a
+        migration decision (``> 1``).
+    window:
+        Sliding-window length in epochs for both the I/O ratio and the
+        per-slot op counts (``>= 1``).
+    max_moves:
+        Upper bound on slots migrated per decision (``>= 1``).
+    cooldown:
+        Epochs to wait after a migration before deciding again
+        (``>= 0``).
+    min_io:
+        Windowed cluster charged-I/O floor below which no decision is
+        made — idle or tiny windows carry no load signal.
+    """
+
+    threshold: float = 1.5
+    window: int = 4
+    max_moves: int = 8
+    cooldown: int = 2
+    min_io: int = 64
+
+    def __post_init__(self) -> None:
+        if not self.threshold > 1.0:
+            raise ConfigurationError(
+                f"rebalance threshold must exceed 1, got {self.threshold}"
+            )
+        if self.window < 1:
+            raise ConfigurationError(
+                f"rebalance window must be >= 1 epoch, got {self.window}"
+            )
+        if self.max_moves < 1:
+            raise ConfigurationError(
+                f"max_moves must be >= 1, got {self.max_moves}"
+            )
+        if self.cooldown < 0:
+            raise ConfigurationError(
+                f"cooldown must be non-negative, got {self.cooldown}"
+            )
+        if self.min_io < 0:
+            raise ConfigurationError(
+                f"min_io must be non-negative, got {self.min_io}"
+            )
+
+
 #: Load-model names the CLI accepts: the closed-loop client plus the
 #: open-loop arrival processes (:data:`repro.service.traffic.ARRIVALS`).
 ARRIVAL_KINDS = ("closed", "poisson", "diurnal", "bursty")
+
+#: Key-distribution names the CLI and benches accept
+#: (:data:`repro.workloads.generators._GENERATORS` plus the router-aware
+#: adversarial attack).
+KEY_DISTS = ("uniform", "zipf", "clustered", "sequential", "adversarial")
 
 #: Overload policies (:data:`repro.service.admission.SHED_POLICIES`).
 OVERLOAD_POLICIES = ("reject", "shed", "adapt")

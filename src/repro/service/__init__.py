@@ -26,6 +26,9 @@ See ``src/repro/service/README.md`` for the epoch/executor, durability,
 and overload/SLO guarantees.
 """
 
+from ..core.config import RebalanceConfig
+from ..tables.rebalance import MigrationReport, Rebalancer, SlotMove
+from ..tables.sharded import SlotDirectory
 from .admission import (
     EXECUTED,
     EXPIRED,
@@ -78,6 +81,11 @@ from .traffic import (
 )
 
 __all__ = [
+    "MigrationReport",
+    "RebalanceConfig",
+    "Rebalancer",
+    "SlotDirectory",
+    "SlotMove",
     "ClientReport",
     "ClosedLoopClient",
     "OpenLoopClient",

@@ -86,6 +86,20 @@ def _array_percentile(values: np.ndarray, q: float) -> float:
     return float(np.sort(values)[max(rank, 0)])
 
 
+def _imbalance(before, after) -> float:
+    """Worst-shard/mean-shard charged I/O over the run (0 when idle).
+
+    ``before``/``after`` are ``shard_io_snapshots()`` lists; the ratio
+    is over each shard's delta, so it measures *this run's* skew, not
+    history's.
+    """
+    deltas = [b.total - a.total for a, b in zip(before, after)]
+    total = sum(deltas)
+    if total <= 0 or len(deltas) <= 1:
+        return 0.0
+    return max(deltas) * len(deltas) / total
+
+
 @dataclass(frozen=True)
 class ClientReport:
     """One client run: throughput, latency distribution, and accounting.
@@ -118,6 +132,11 @@ class ClientReport:
     queue_p99_ms: float = 0.0
     hit_rate: float = 0.0
     negative_hits: int = 0
+    #: Worst-shard/mean-shard charged-I/O ratio over the run and slots
+    #: migrated during it — zero-filled for static (non-rebalancing)
+    #: runs, so one row schema serves both routers.
+    imbalance: float = 0.0
+    migrated_slots: int = 0
 
     @property
     def kops(self) -> float:
@@ -153,6 +172,8 @@ class ClientReport:
             "deadline_exceeded": self.deadline_exceeded,
             "hit_rate": round(self.hit_rate, 4),
             "negative_hits": self.negative_hits,
+            "imbalance": round(self.imbalance, 2),
+            "migrated_slots": self.migrated_slots,
         }
 
 
@@ -196,6 +217,8 @@ class ClosedLoopClient:
         epochs = 0
         io_total = 0
         cache_mark = self.service.cache_snapshot()
+        shard_marks = self.service.shard_io_snapshots()
+        migrated_mark = self.service.migrated_slots
         t_start = time.perf_counter()
         for lo in range(0, n, self.window):
             hi = min(lo + self.window, n)
@@ -229,6 +252,8 @@ class ClosedLoopClient:
             max_ms=(max(v for v, _ in latencies) * 1e3) if latencies else 0.0,
             hit_rate=cache.hit_rate,
             negative_hits=cache.negative_hits,
+            imbalance=_imbalance(shard_marks, self.service.shard_io_snapshots()),
+            migrated_slots=self.service.migrated_slots - migrated_mark,
         )
 
 
@@ -324,6 +349,8 @@ class OpenLoopClient:
         lat = np.zeros(n, dtype=np.float64)
         qdel = np.zeros(n, dtype=np.float64)
         cache_mark = self.service.cache_snapshot()
+        shard_marks = self.service.shard_io_snapshots()
+        migrated_mark = self.service.migrated_slots
         if n == 0:
             makespan = 0.0
         elif self.controller.transparent and self.breaker is None:
@@ -354,6 +381,8 @@ class OpenLoopClient:
             queue_p99_ms=_array_percentile(equeue, 99) * 1e3,
             hit_rate=cache.hit_rate,
             negative_hits=cache.negative_hits,
+            imbalance=_imbalance(shard_marks, self.service.shard_io_snapshots()),
+            migrated_slots=self.service.migrated_slots - migrated_mark,
         )
 
     # -- transparent fast path ----------------------------------------------
@@ -412,16 +441,18 @@ class OpenLoopClient:
         ctrl = self.controller
         breaker = self.breaker
         n = len(kinds)
-        if breaker is not None:
+        def _shard_map() -> np.ndarray:
             if svc.shards == 1:
-                shard_of = np.zeros(n, dtype=np.int64)
-            else:
-                shard_of = (
-                    svc.router.hash_array(keys) % np.uint64(svc.shards)
-                ).astype(np.int64)
+                return np.zeros(n, dtype=np.int64)
+            return svc.directory.shards_of(keys)
+
+        if breaker is not None:
+            shard_of = _shard_map()
+            dir_version = svc.directory.version
             held: list[deque[int]] = [deque() for _ in range(svc.shards)]
         else:
             shard_of = None
+            dir_version = None
             held = []
         queue = AdmissionQueue()
         ai = 0
@@ -429,6 +460,11 @@ class OpenLoopClient:
         cap = self.batch_ops
 
         while ai < n or len(queue) or any(held):
+            # A migration between epochs repoints slots; refresh the
+            # breaker's shard map so quarantine tracks the live route.
+            if breaker is not None and svc.directory.version != dir_version:
+                shard_of = _shard_map()
+                dir_version = svc.directory.version
             # Open loop: everything that has arrived by now hits admission,
             # in arrival (= program) order.
             while ai < n and t[ai] <= now:

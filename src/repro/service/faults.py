@@ -946,9 +946,7 @@ def run_overload_chaos(
     if svc.shards == 1:
         shard_arr = np.zeros(len(keys), dtype=np.int64)
     else:
-        shard_arr = (svc.router.hash_array(keys) % np.uint64(svc.shards)).astype(
-            np.int64
-        )
+        shard_arr = svc.directory.shards_of(keys)
     for s in range(svc.shards):
         sub = order[shard_arr[order] == s]
         if len(sub) > 1 and not bool(np.all(np.diff(sub) > 0)):

@@ -26,10 +26,19 @@ Record format (little-endian)::
     record  := header payload
     header  := magic "RJL1" | type u8 | epoch u64 | start u64 | stop u64
                | crc32 u32
-    type    := 1 (OPS) or 2 (COMMIT)
-    payload := OPS:    kinds  (stop-start bytes, one op code each)
-                       keys   ((stop-start) * 8 bytes, uint64)
-               COMMIT: empty
+    type    := 1 (OPS), 2 (COMMIT) or 3 (REBALANCE)
+    payload := OPS:       kinds  (stop-start bytes, one op code each)
+                          keys   ((stop-start) * 8 bytes, uint64)
+               COMMIT:    empty
+               REBALANCE: (stop-start) * 3 uint64 (slot, src, dst) triples
+
+The REBALANCE record is the rebalancer's write-ahead intent: the
+``epoch`` field carries the migration *sequence number*, ``start`` the
+stream position the migration runs at, and ``stop - start`` the move
+count.  It is appended **fsynced, before the moves execute**, and is
+self-committed — crash mid-migration and recovery re-executes the
+journaled moves deterministically (slot drains are pure functions of
+the shard state the committed-epoch replay just rebuilt).
 
 ``crc32`` covers the header fields after the magic plus the payload, so
 a torn append (crash mid-record) is detected and everything from the
@@ -56,6 +65,7 @@ _HEADER = struct.Struct("<4sBQQQI")
 _MAGIC = b"RJL1"
 _OPS = 1
 _COMMIT = 2
+_REBALANCE = 3
 
 
 def _crc(rtype: int, epoch: int, start: int, stop: int, payload: bytes) -> int:
@@ -65,14 +75,17 @@ def _crc(rtype: int, epoch: int, start: int, stop: int, payload: bytes) -> int:
 
 @dataclass(frozen=True)
 class JournalRecord:
-    """One parsed journal record (``kinds``/``keys`` only for OPS)."""
+    """One parsed journal record (``kinds``/``keys`` only for OPS,
+    ``moves`` only for REBALANCE — where ``epoch`` is the migration
+    sequence number and ``stop - start`` the move count)."""
 
-    kind: str  # "ops" | "commit"
+    kind: str  # "ops" | "commit" | "rebalance"
     epoch: int
     start: int
     stop: int
     kinds: np.ndarray | None = None
     keys: np.ndarray | None = None
+    moves: tuple[tuple[int, int, int], ...] | None = None
 
     @property
     def ops(self) -> int:
@@ -84,14 +97,18 @@ class JournalScan:
     """Result of scanning a journal file.
 
     ``committed`` holds the OPS records whose COMMIT marker made it to
-    disk, in epoch order — the redo set.  ``valid_bytes`` is the offset
-    of the first invalid/torn byte; ``committed_bytes`` the offset just
-    after the last COMMIT marker (truncating there discards the
-    uncommitted tail so a resumed journal re-appends the re-run epoch).
+    disk, in epoch order; ``redo`` is the full redo set — the committed
+    OPS records *and* the (self-committed) REBALANCE records,
+    interleaved in log order, which is the order recovery re-executes
+    them in.  ``valid_bytes`` is the offset of the first invalid/torn
+    byte; ``committed_bytes`` the offset just after the last durable
+    record (truncating there discards the uncommitted tail so a resumed
+    journal re-appends the re-run epoch).
     """
 
     records: list[JournalRecord]
     committed: list[JournalRecord]
+    redo: list[JournalRecord]
     valid_bytes: int
     committed_bytes: int
     uncommitted_ops: int
@@ -143,6 +160,29 @@ class EpochJournal:
             _MAGIC, _COMMIT, epoch, start, stop, _crc(_COMMIT, epoch, start, stop, b"")
         )
 
+    @staticmethod
+    def encode_rebalance(seq: int, position: int, moves) -> bytes:
+        """The REBALANCE record bytes for one migration decision.
+
+        ``seq`` is the migration sequence number (how many migrations
+        the service has applied before this one), ``position`` the
+        committed stream position it runs at, ``moves`` the
+        ``(slot, src, dst)`` triples in execution order.
+        """
+        payload = np.asarray(
+            [(m[0], m[1], m[2]) for m in moves], dtype="<u8"
+        ).tobytes()
+        start, stop = position, position + len(moves)
+        header = _HEADER.pack(
+            _MAGIC,
+            _REBALANCE,
+            seq,
+            start,
+            stop,
+            _crc(_REBALANCE, seq, start, stop, payload),
+        )
+        return header + payload
+
     # -- the write protocol --------------------------------------------------
 
     def append_epoch(
@@ -174,6 +214,18 @@ class EpochJournal:
         self._write(self.encode_commit(epoch, start, stop), barrier=True)
         self.committed_epochs += 1
 
+    def append_rebalance(self, seq: int, position: int, moves) -> None:
+        """Durably record a migration's intent *before* it executes.
+
+        Write-ahead with its own barrier: once this returns, a crash at
+        any point during the slot drains leaves the record on disk and
+        recovery re-executes the moves; a crash before it leaves no
+        trace and the rebalancer simply re-decides after recovery.
+        """
+        if not moves:
+            raise ValueError("a REBALANCE record needs at least one move")
+        self._write(self.encode_rebalance(seq, position, moves), barrier=True)
+
     def _write(self, record: bytes, *, barrier: bool = False) -> None:
         self._fh.write(record)
         self._fh.flush()
@@ -199,17 +251,23 @@ class EpochJournal:
         try:
             raw = Path(path).read_bytes()
         except FileNotFoundError:
-            return JournalScan([], [], 0, 0, 0)
+            return JournalScan([], [], [], 0, 0, 0)
         records: list[JournalRecord] = []
         committed: list[JournalRecord] = []
+        redo: list[JournalRecord] = []
         pending: dict[int, JournalRecord] = {}
         offset = 0
         committed_bytes = 0
         while offset + _HEADER.size <= len(raw):
             magic, rtype, epoch, start, stop, crc = _HEADER.unpack_from(raw, offset)
-            if magic != _MAGIC or rtype not in (_OPS, _COMMIT):
+            if magic != _MAGIC or rtype not in (_OPS, _COMMIT, _REBALANCE):
                 break
-            body_len = (stop - start) * 9 if rtype == _OPS else 0
+            if rtype == _OPS:
+                body_len = (stop - start) * 9
+            elif rtype == _REBALANCE:
+                body_len = (stop - start) * 24
+            else:
+                body_len = 0
             end = offset + _HEADER.size + body_len
             if end > len(raw):
                 break  # torn append: the record tail never hit the disk
@@ -227,17 +285,33 @@ class EpochJournal:
                     keys=np.frombuffer(payload[n:], dtype="<u8").astype(np.uint64),
                 )
                 pending[epoch] = rec
+            elif rtype == _REBALANCE:
+                triples = np.frombuffer(payload, dtype="<u8").reshape(-1, 3)
+                rec = JournalRecord(
+                    kind="rebalance",
+                    epoch=epoch,
+                    start=start,
+                    stop=stop,
+                    moves=tuple(
+                        (int(s), int(a), int(b)) for s, a, b in triples
+                    ),
+                )
+                # Self-committed: fsynced before the moves execute.
+                redo.append(rec)
+                committed_bytes = end
             else:
                 rec = JournalRecord(kind="commit", epoch=epoch, start=start, stop=stop)
                 ops_rec = pending.pop(epoch, None)
                 if ops_rec is not None:
                     committed.append(ops_rec)
+                    redo.append(ops_rec)
                     committed_bytes = end
             records.append(rec)
             offset = end
         return JournalScan(
             records=records,
             committed=committed,
+            redo=redo,
             valid_bytes=offset,
             committed_bytes=committed_bytes,
             uncommitted_ops=sum(r.ops for r in pending.values()),

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..em.cache import CacheStats
+from ..tables.sharded import SlotDirectory
 from .journal import EpochJournal
 from .service import DictionaryService, make_executor
 
@@ -74,6 +75,12 @@ def snapshot_service(service: DictionaryService, path: str | Path) -> None:
         "epochs_run": service.epochs_run,
         "ops_committed": service.ops_committed,
         "executor": getattr(service.executor, "name", "serial"),
+        "directory": service.directory,
+        "rebalancer": service.rebalancer,
+        "migrated_slots": service.migrated_slots,
+        "keys_moved": service.keys_moved,
+        "migration_io": service.migration_io,
+        "migrations_applied": service.migrations_applied,
     }
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -128,6 +135,20 @@ def restore_service(
     svc.epochs_run = state["epochs_run"]
     svc.journal = None
     svc.ops_committed = state["ops_committed"]
+    # Older snapshots predate the slot directory; they can only have
+    # routed statically, so a fresh static directory restores them
+    # exactly.
+    directory = state.get("directory")
+    svc.directory = (
+        directory
+        if directory is not None
+        else SlotDirectory(svc.router, svc.shards)
+    )
+    svc.rebalancer = state.get("rebalancer")
+    svc.migrated_slots = state.get("migrated_slots", 0)
+    svc.keys_moved = state.get("keys_moved", 0)
+    svc.migration_io = state.get("migration_io", 0)
+    svc.migrations_applied = state.get("migrations_applied", 0)
     return svc
 
 
@@ -166,7 +187,15 @@ def recover(
     replayed = replayed_ops = discarded = 0
     if journal_path is not None:
         scan = EpochJournal.scan(journal_path)
-        for rec in scan.committed:
+        # Log order: a REBALANCE record re-executes exactly between the
+        # committed epochs it originally ran between, against the shard
+        # state their replay just rebuilt — so a crash mid-migration
+        # recovers to the same slot map, layouts and ledgers as an
+        # uninterrupted run.
+        for rec in scan.redo:
+            if rec.kind == "rebalance":
+                svc.apply_rebalance_record(rec.epoch, rec.moves)
+                continue
             if rec.stop <= svc.ops_committed:
                 continue  # already folded into the snapshot
             if rec.start != svc.ops_committed:

@@ -41,6 +41,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from ..core.config import RebalanceConfig
 from ..em.cache import CacheStats
 from ..em.errors import ConfigurationError, StorageFault
 from ..em.iostats import IOSnapshot, IOStats
@@ -49,7 +50,8 @@ from ..hashing.base import HashFunction
 from ..hashing.family import MULTIPLY_SHIFT
 from ..tables.base import ExternalDictionary, LayoutSnapshot, TableStats
 from ..tables.batching import partition_positions
-from ..tables.sharded import ShardFactory, _ROUTER_SEED, shard_view
+from ..tables.rebalance import Rebalancer, SlotMove, apply_moves
+from ..tables.sharded import ShardFactory, SlotDirectory, _ROUTER_SEED, shard_view
 from ..workloads.trace import OP_DELETE, OP_INSERT, OP_LOOKUP, Op, encode_ops
 from .epochs import Epoch, build_epochs
 from .journal import EpochJournal
@@ -240,6 +242,21 @@ class DictionaryService:
         execution and fsync-marked committed *after* the ledger merge,
         so :func:`repro.service.recovery.recover` can rebuild the exact
         service state from the last snapshot plus the committed suffix.
+    slots:
+        Slot-directory fan-out (must divide by ``shards``); defaults to
+        ``DEFAULT_SLOTS_PER_SHARD * shards``.  The directory starts on
+        the static split, so routing is bit-identical to ``hash %
+        shards`` until a migration moves a slot.
+    rebalance:
+        Enables skew-adaptive routing: a
+        :class:`~repro.tables.rebalance.Rebalancer`, a
+        :class:`~repro.core.config.RebalanceConfig`, or ``True`` for
+        the default config.  When set, the service samples per-shard
+        charged I/O and per-slot op counts at every epoch close and —
+        between epochs, never inside one — migrates hot slots, with the
+        journal (if attached) recording each migration write-ahead.
+        ``None`` (the default) keeps the static router: bit-identical
+        results, layouts and ledgers to every earlier release.
     """
 
     def __init__(
@@ -253,6 +270,8 @@ class DictionaryService:
         router: HashFunction | None = None,
         name: str | None = None,
         journal: EpochJournal | None = None,
+        slots: int | None = None,
+        rebalance: Rebalancer | RebalanceConfig | bool | None = None,
     ) -> None:
         if shards <= 0:
             raise ConfigurationError(f"shard count must be positive, got {shards}")
@@ -267,6 +286,13 @@ class DictionaryService:
             if router is not None
             else MULTIPLY_SHIFT.sample(ctx.u, seed=_ROUTER_SEED)
         )
+        self.directory = SlotDirectory(self.router, shards, slots=slots)
+        if rebalance is True:
+            self.rebalancer: Rebalancer | None = Rebalancer()
+        elif isinstance(rebalance, RebalanceConfig):
+            self.rebalancer = Rebalancer(rebalance)
+        else:
+            self.rebalancer = rebalance or None
         self.executor = make_executor(executor) if isinstance(executor, str) else executor
         self._contexts = [service_shard_view(ctx, i) for i in range(shards)]
         #: Cluster I/O ledger: per-shard deltas folded in at epoch close,
@@ -295,6 +321,15 @@ class DictionaryService:
         #: Global stream position of the last committed epoch's ``stop``
         #: — how far into the client's trace durable state extends.
         self.ops_committed = 0
+        #: Migration counters (all zero for static runs): slots
+        #: repointed, live keys drained+re-inserted, charged I/O of the
+        #: drains (already folded into :attr:`ledger` — no free moves),
+        #: and applied migration decisions (the REBALANCE-record
+        #: sequence number).
+        self.migrated_slots = 0
+        self.keys_moved = 0
+        self.migration_io = 0
+        self.migrations_applied = 0
 
     # -- request execution --------------------------------------------------
 
@@ -328,6 +363,9 @@ class DictionaryService:
             if self.journal is not None:
                 self.journal.commit(idx, base + epoch.start, base + epoch.stop)
             self.ops_committed = base + epoch.stop
+            # Between epochs only: an epoch's program order is never
+            # split by a migration.
+            self._maybe_rebalance()
         return ServiceRun(
             ops=n,
             lookup_found=lookup_found,
@@ -373,6 +411,12 @@ class DictionaryService:
             epoch, np.zeros(n, dtype=bool), np.zeros(n, dtype=bool)
         )
         self.ops_committed = stop
+        # Replay feeds the rebalancer the same observations the live run
+        # saw but never *decides* — journaled REBALANCE records supply
+        # the moves, so recovered policy state matches an uninterrupted
+        # run bit for bit.
+        if self.rebalancer is not None:
+            self.rebalancer.observe(self._last_epoch_shard_io, self._epoch_slot_ops)
         return report
 
     def snapshot(self, path) -> None:
@@ -392,6 +436,8 @@ class DictionaryService:
         delete_removed: np.ndarray,
     ) -> EpochReport:
         t0 = time.perf_counter()
+        if self.rebalancer is not None:
+            self._epoch_slot_ops = np.zeros(self.directory.slots, dtype=np.int64)
         ins_groups = self._kind_groups(epoch.insert_keys, None)
         del_groups = self._kind_groups(epoch.delete_keys, epoch.delete_pos)
         look_groups = self._kind_groups(epoch.lookup_keys, epoch.lookup_pos)
@@ -461,12 +507,24 @@ class DictionaryService:
     def _kind_groups(
         self, arr: np.ndarray, pos: np.ndarray | None
     ) -> list[tuple[int, np.ndarray, np.ndarray | None]]:
-        """Stable shard split of one kind's keys (+ stream positions)."""
+        """Stable shard split of one kind's keys (+ stream positions).
+
+        Routed through the slot directory (one ``hash_array`` call, one
+        slot-map gather); with the static map this reproduces
+        ``hash % shards`` exactly.  When the rebalancer is on, the slot
+        ids are also tallied into the epoch's per-slot op counts — the
+        load signal :meth:`_maybe_rebalance` feeds it.
+        """
         if len(arr) == 0:
             return []
         if self.shards == 1:
             return [(0, arr, pos)]
-        idx = (self.router.hash_array(arr) % np.uint64(self.shards)).astype(np.int64)
+        slots = self.directory.slots_of(arr)
+        if self.rebalancer is not None:
+            self._epoch_slot_ops += np.bincount(
+                slots, minlength=self.directory.slots
+            )
+        idx = self.directory.slot_map[slots]
         return [
             (shard, arr[group], pos[group] if pos is not None else None)
             for shard, group in partition_positions(idx)
@@ -481,17 +539,85 @@ class DictionaryService:
         same epochs charged.
         """
         total = 0
+        per_shard = []
         for i, sub in enumerate(self._contexts):
             delta = sub.stats.delta_since(self._marks[i])
             self._marks[i] = sub.stats.snapshot()
             self.ledger.absorb(delta)
+            per_shard.append(delta.total)
             total += delta.total
             mark = self._cache_marks[i]
             if mark is not None:
                 shard_cache = sub.cache_stats()
                 self.cache.absorb(shard_cache.delta_since(mark))
                 self._cache_marks[i] = shard_cache.snapshot()
+        # The per-shard split of the merge just folded — the epoch-close
+        # load sample _maybe_rebalance observes.  Migration drains merge
+        # through here too, so their charges never pollute the next
+        # epoch's sample (they are read before the migration merges).
+        self._last_epoch_shard_io = per_shard
         return total
+
+    # -- rebalancing ---------------------------------------------------------
+
+    def _maybe_rebalance(self) -> None:
+        """Observe the closed epoch; migrate hot slots if the policy fires.
+
+        The protocol per decision: journal the REBALANCE record
+        (write-ahead, fsynced) **then** execute the moves — a crash at
+        any point mid-migration leaves the record durable and recovery
+        re-executes the drains deterministically.
+        """
+        if self.rebalancer is None:
+            return
+        self.rebalancer.observe(self._last_epoch_shard_io, self._epoch_slot_ops)
+        moves = self.rebalancer.decide(self.epochs_run, self.directory)
+        if not moves:
+            return
+        if self.journal is not None:
+            self.journal.append_rebalance(
+                self.migrations_applied,
+                self.ops_committed,
+                [(m.slot, m.src, m.dst) for m in moves],
+            )
+        self._apply_moves(moves)
+        self.rebalancer.note_moved(self.epochs_run, moves)
+
+    def _apply_moves(self, moves: Sequence[SlotMove]) -> None:
+        """Drain + refill + repoint, charging the drains to the ledgers."""
+        report = apply_moves(self.directory, self._tables, moves)
+        # Fold the migration's charges in immediately: the cluster
+        # ledger sees every drain I/O (no free moves), the per-shard
+        # marks advance past it, and migration_io keeps the separate
+        # tally reports surface.
+        self.migration_io += self._merge_ledgers()
+        self.migrated_slots += report.slots_moved
+        self.keys_moved += report.keys_moved
+        self.migrations_applied += 1
+
+    def apply_rebalance_record(
+        self, seq: int, moves: Sequence[tuple[int, int, int]]
+    ) -> bool:
+        """Re-execute one journaled migration during recovery.
+
+        Returns ``False`` (a no-op) when the snapshot already contains
+        migration ``seq``; raises on a sequence gap.  The re-executed
+        drains are pure functions of the shard state the committed-epoch
+        replay rebuilt, so the outcome is bit-identical to the original
+        migration.
+        """
+        if seq < self.migrations_applied:
+            return False
+        if seq != self.migrations_applied:
+            raise ValueError(
+                f"migration gap: journal has migration {seq} but durable "
+                f"state ends at {self.migrations_applied}"
+            )
+        slot_moves = [SlotMove(*m) for m in moves]
+        self._apply_moves(slot_moves)
+        if self.rebalancer is not None:
+            self.rebalancer.note_moved(self.epochs_run, slot_moves)
+        return True
 
     # -- aggregation / instrumentation --------------------------------------
 
@@ -546,14 +672,18 @@ class DictionaryService:
             blocks.update(snap.blocks)
             memory_items |= snap.memory_items
         addresses = [snap.address for snap in snaps]
-        router = self.router
+        directory = self.directory
         shards = self.shards
 
         def address(key: int) -> int | None:
             if shards == 1:
                 return addresses[0](key)
-            return addresses[int(router.hash(key)) % shards](key)
+            return addresses[directory.shard_of(key)](key)
 
+        # Static map: router seed + shard count (2 words, as ever).  A
+        # migrated map must be written down slot by slot — the honest
+        # description cost of adaptivity.
+        route_words = 2 if directory.is_static() else 2 + directory.slots
         return LayoutSnapshot(
             memory_items=memory_items,
             blocks=blocks,
@@ -561,7 +691,7 @@ class DictionaryService:
             address_description_words=sum(
                 snap.address_description_words for snap in snaps
             )
-            + 2,
+            + route_words,
         )
 
     def __len__(self) -> int:

@@ -14,7 +14,8 @@ from .extendible import ExtendibleHashTable
 from .linear_hashing import LinearHashingTable
 from .linear_probing import LinearProbingHashTable
 from .overflow import ChainedBucket
-from .sharded import ShardedDictionary, make_sharded, shard_view
+from .rebalance import MigrationReport, Rebalancer, SlotMove, apply_moves
+from .sharded import ShardedDictionary, SlotDirectory, make_sharded, shard_view
 
 __all__ = [
     "ExternalDictionary",
@@ -26,7 +27,12 @@ __all__ = [
     "ExtendibleHashTable",
     "LinearHashingTable",
     "LinearProbingHashTable",
+    "MigrationReport",
+    "Rebalancer",
     "ShardedDictionary",
+    "SlotDirectory",
+    "SlotMove",
+    "apply_moves",
     "make_sharded",
     "shard_view",
 ]

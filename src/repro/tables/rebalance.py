@@ -1,0 +1,242 @@
+"""Skew-adaptive slot rebalancing: load accounting, policy, migration.
+
+The static router splits keys ``hash % N`` forever, so a hot key range
+(Zipf head, clustered flood, or an adversarial attack aimed at one
+router bucket) pins one shard's :class:`~repro.em.memory.MemoryBudget`
+and charged I/O while its siblings idle.  The
+:class:`~repro.tables.sharded.SlotDirectory` makes the route mutable at
+slot granularity; this module supplies the two halves that act on it:
+
+* :class:`Rebalancer` — the *policy*.  ``observe()`` feeds it one
+  epoch's per-shard charged I/O and per-slot op counts; ``decide()`` is
+  a **pure** function of the windowed history that returns the slot
+  moves to perform (empty when balanced, cooling down, or idle);
+  ``note_moved()`` records an applied migration.  The observe/decide/
+  note split is what makes crash recovery bit-identical: replay feeds
+  the same observations and applies the *journaled* moves instead of
+  re-deciding, leaving the policy state exactly as the uninterrupted
+  run left it.
+
+* :func:`apply_moves` — the *mechanism*.  Drains each moved slot's live
+  keys out of the source shard with ``delete_batch`` (memory and disk
+  items alike, from the layout snapshot, in sorted order so the drain
+  is deterministic) and re-inserts them through ``insert_batch`` into
+  the destination shard's own strided block-id namespace, then repoints
+  the directory entry.  Every drain and refill is charged to the shard
+  ledgers like any other batch — migration I/O is never free.
+
+Cluster size is conserved by construction: only keys the source
+actually held (``delete_batch``'s hit mask) are re-inserted, so a stale
+snapshot entry can never double-insert.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..core.config import RebalanceConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .base import ExternalDictionary
+    from .sharded import SlotDirectory
+
+__all__ = [
+    "MigrationReport",
+    "Rebalancer",
+    "SlotMove",
+    "apply_moves",
+    "slot_keys",
+]
+
+
+@dataclass(frozen=True)
+class SlotMove:
+    """One directory reassignment: ``slot`` leaves ``src`` for ``dst``."""
+
+    slot: int
+    src: int
+    dst: int
+
+
+@dataclass(frozen=True)
+class MigrationReport:
+    """What one :func:`apply_moves` call did.
+
+    ``keys_moved`` counts keys actually drained and re-inserted (live
+    keys of the moved slots); ``moves`` is the applied sequence in
+    execution order.
+    """
+
+    moves: tuple[SlotMove, ...]
+    keys_moved: int
+
+    @property
+    def slots_moved(self) -> int:
+        return len(self.moves)
+
+
+def slot_keys(
+    table: ExternalDictionary, directory: SlotDirectory, slot: int
+) -> np.ndarray:
+    """The live keys of ``table`` routed to ``slot``, ascending.
+
+    Candidates come from the layout snapshot (memory residents plus
+    every disk item); sorting makes the drain order — and therefore the
+    destination shard's merge boundaries — independent of set/hash
+    iteration order.
+    """
+    snap = table.layout_snapshot()
+    items = snap.memory_items | snap.disk_items()
+    if not items:
+        return np.empty(0, dtype=np.uint64)
+    arr = np.array(sorted(items), dtype=np.uint64)
+    return arr[directory.slots_of(arr) == slot]
+
+
+def apply_moves(
+    directory: SlotDirectory,
+    tables: Sequence[ExternalDictionary],
+    moves: Sequence[SlotMove | tuple[int, int, int]],
+) -> MigrationReport:
+    """Execute slot migrations: drain, refill, repoint — in move order.
+
+    Each move is processed independently and deterministically: collect
+    the slot's live keys from the source shard, ``delete_batch`` them
+    out, ``insert_batch`` the ones that were actually present into the
+    destination, then :meth:`SlotDirectory.assign` the slot.  The
+    directory is repointed *after* the drain so a crash replay that
+    re-executes the move from its journal record sees the same
+    pre-move routing.
+    """
+    applied: list[SlotMove] = []
+    keys_moved = 0
+    # One snapshot + sort + slot classification per *source shard*, not
+    # per move: a slot's live keys only change when its own move drains
+    # them (drains remove that slot's keys from the source; refills land
+    # on the destination, whose cached view is invalidated below), so
+    # the shared view stays exact for every remaining move.
+    views: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    for mv in moves:
+        mv = mv if isinstance(mv, SlotMove) else SlotMove(*mv)
+        if int(directory.slot_map[mv.slot]) != mv.src:
+            raise ValueError(
+                f"slot {mv.slot} maps to shard "
+                f"{int(directory.slot_map[mv.slot])}, not {mv.src}"
+            )
+        if mv.src not in views:
+            snap = tables[mv.src].layout_snapshot()
+            items = snap.memory_items | snap.disk_items()
+            arr = np.array(sorted(items), dtype=np.uint64)
+            views[mv.src] = (arr, directory.slots_of(arr) if len(arr) else arr)
+        arr, arr_slots = views[mv.src]
+        keys = arr[arr_slots == mv.slot] if len(arr) else arr
+        views.pop(mv.dst, None)  # refill invalidates the dst's view
+        if len(keys):
+            removed = tables[mv.src].delete_batch(keys)
+            present = keys[removed]
+            if len(present):
+                tables[mv.dst].insert_batch(present)
+            keys_moved += int(removed.sum())
+        directory.assign(mv.slot, mv.dst)
+        applied.append(mv)
+    return MigrationReport(moves=tuple(applied), keys_moved=keys_moved)
+
+
+@dataclass
+class Rebalancer:
+    """Windowed imbalance detector + greedy hottest-slot planner.
+
+    State is three pieces, all deterministic functions of the observed
+    history: the per-shard charged-I/O window, the per-slot op-count
+    window, and the epoch of the last applied migration (for the
+    cooldown).  ``decide()`` never mutates — the service (or recovery
+    replay) calls ``note_moved()`` only for migrations actually
+    applied, so live runs and replays converge on identical state.
+    """
+
+    config: RebalanceConfig = field(default_factory=RebalanceConfig)
+
+    def __post_init__(self) -> None:
+        self.io_window: deque[np.ndarray] = deque(maxlen=self.config.window)
+        self.ops_window: deque[np.ndarray] = deque(maxlen=self.config.window)
+        self.last_move_epoch: int | None = None
+        self.moves_applied = 0
+
+    def observe(
+        self, shard_io: Sequence[int], slot_ops: np.ndarray | Sequence[int]
+    ) -> None:
+        """Feed one epoch's per-shard charged I/O and per-slot op counts."""
+        self.io_window.append(np.asarray(shard_io, dtype=np.int64).copy())
+        self.ops_window.append(np.asarray(slot_ops, dtype=np.int64).copy())
+
+    def imbalance(self) -> float:
+        """Windowed worst-shard/mean-shard charged-I/O ratio (0 if idle)."""
+        if not self.io_window:
+            return 0.0
+        io = np.sum(self.io_window, axis=0)
+        total = int(io.sum())
+        if total <= 0:
+            return 0.0
+        return float(io.max() * len(io) / total)
+
+    def decide(
+        self, epoch_idx: int, directory: SlotDirectory
+    ) -> list[SlotMove]:
+        """The moves to apply after ``epoch_idx`` — pure, possibly empty.
+
+        Triggers on the windowed charged-I/O ratio; *plans* with the
+        windowed per-slot op counts (the finest-grained load signal the
+        service tracks): hottest slots of the worst shard move greedily
+        to the projected-least-loaded shard, but only while the move
+        strictly improves the worst/dst pair — the anti-ping-pong rule.
+        """
+        cfg = self.config
+        if not self.io_window:
+            return []
+        if (
+            self.last_move_epoch is not None
+            and epoch_idx - self.last_move_epoch <= cfg.cooldown
+        ):
+            return []
+        io = np.sum(self.io_window, axis=0)
+        total = int(io.sum())
+        if total < cfg.min_io or total <= 0:
+            return []
+        worst = int(io.argmax())
+        if float(io[worst]) * len(io) < cfg.threshold * total:
+            return []
+        slot_ops = np.sum(self.ops_window, axis=0)
+        # Projected per-shard load in op units (the per-slot signal).
+        proj = np.bincount(
+            directory.slot_map, weights=slot_ops, minlength=directory.shards
+        )
+        own = [int(s) for s in directory.shard_slots(worst)]
+        own.sort(key=lambda s: (-int(slot_ops[s]), s))
+        moves: list[SlotMove] = []
+        remaining = len(own)
+        for slot in own:
+            if len(moves) >= cfg.max_moves or remaining <= 1:
+                break
+            load = float(slot_ops[slot])
+            if load <= 0:
+                break  # colder slots can't help either
+            order = np.argsort(proj, kind="stable")
+            dst = int(order[0]) if int(order[0]) != worst else int(order[1])
+            # Anti-ping-pong: move only if the pair's max strictly drops.
+            if proj[dst] + load >= proj[worst]:
+                continue
+            proj[worst] -= load
+            proj[dst] += load
+            moves.append(SlotMove(slot=slot, src=worst, dst=dst))
+            remaining -= 1
+        return moves
+
+    def note_moved(self, epoch_idx: int, moves: Sequence[SlotMove]) -> None:
+        """Record an applied migration (live path and replay alike)."""
+        if moves:
+            self.last_move_epoch = epoch_idx
+            self.moves_applied += len(moves)

@@ -51,11 +51,23 @@ from ..hashing.family import MULTIPLY_SHIFT
 from .base import ExternalDictionary, LayoutSnapshot, TableStats
 from .batching import normalize_keys, partition_by_bucket, partition_positions
 
-__all__ = ["SHARD_ID_STRIDE", "ShardedDictionary", "make_sharded", "shard_view"]
+__all__ = [
+    "DEFAULT_SLOTS_PER_SHARD",
+    "SHARD_ID_STRIDE",
+    "ShardedDictionary",
+    "SlotDirectory",
+    "make_sharded",
+    "shard_view",
+]
 
 #: Block-id stride between shard disks.  Far above any realistic
 #: allocation count, so shard namespaces can never collide.
 SHARD_ID_STRIDE = 1 << 48
+
+#: Default slot-directory fan-out: S = 64·N slots over N shards.  Large
+#: enough that single-slot moves shift ~1.5% of a uniform load, small
+#: enough that the map stays a cache-resident array.
+DEFAULT_SLOTS_PER_SHARD = 64
 
 #: Router seed, fixed and distinct from the table seeds used anywhere in
 #: the drivers/benchmarks so shard routing stays independent of bucket
@@ -99,6 +111,88 @@ def shard_view(
     )
 
 
+class SlotDirectory:
+    """The two-level route: router hash → one of ``S`` slots → shard.
+
+    The slot map is the unit of load tracking and migration: the router
+    hash is fixed for the life of the cluster, but ``slot_map[slot]``
+    can be reassigned between epochs, moving every key of that slot to
+    another shard without touching the hash.  ``S`` is forced to a
+    multiple of ``N`` so the *initial* map (``slot % shards``) composes
+    to ``hash % shards`` exactly — default routing is bit-identical to
+    the static split, which is what the relabelling contract pins.
+
+    ``version`` increments on every :meth:`assign`; callers that cache
+    anything derived from the map (e.g. the open-loop client's per-op
+    shard vector) key their cache on it.
+    """
+
+    def __init__(
+        self,
+        router: HashFunction,
+        shards: int,
+        *,
+        slots: int | None = None,
+    ) -> None:
+        if shards <= 0:
+            raise ConfigurationError(f"shard count must be positive, got {shards}")
+        if slots is None:
+            slots = DEFAULT_SLOTS_PER_SHARD * shards
+        if slots <= 0 or slots % shards != 0:
+            raise ConfigurationError(
+                f"slot count must be a positive multiple of the shard count "
+                f"(got slots={slots}, shards={shards}); otherwise the default "
+                f"map cannot reproduce hash % shards routing"
+            )
+        self.router = router
+        self.shards = shards
+        self.slots = slots
+        self.slot_map = (np.arange(slots, dtype=np.int64) % shards).copy()
+        self.version = 0
+
+    # -- routing -----------------------------------------------------------
+
+    def slot_of(self, key: int) -> int:
+        return int(self.router.hash(key)) % self.slots
+
+    def shard_of(self, key: int) -> int:
+        return int(self.slot_map[self.slot_of(key)])
+
+    def slots_of(self, arr: np.ndarray) -> np.ndarray:
+        """Vectorised key → slot (one ``hash_array`` call)."""
+        return (self.router.hash_array(arr) % np.uint64(self.slots)).astype(
+            np.int64
+        )
+
+    def shards_of(self, arr: np.ndarray) -> np.ndarray:
+        """Vectorised key → shard: the slot map gathered over the slots."""
+        return self.slot_map[self.slots_of(arr)]
+
+    # -- migration ---------------------------------------------------------
+
+    def assign(self, slot: int, shard: int) -> None:
+        """Repoint one slot; bumps :attr:`version`."""
+        if not 0 <= slot < self.slots:
+            raise ConfigurationError(f"slot {slot} out of range [0, {self.slots})")
+        if not 0 <= shard < self.shards:
+            raise ConfigurationError(
+                f"shard {shard} out of range [0, {self.shards})"
+            )
+        self.slot_map[slot] = shard
+        self.version += 1
+
+    def shard_slots(self, shard: int) -> np.ndarray:
+        """The slots currently mapped to ``shard`` (ascending)."""
+        return np.nonzero(self.slot_map == shard)[0]
+
+    def is_static(self) -> bool:
+        """True while the map still equals the initial static split."""
+        return bool(
+            (self.slot_map == np.arange(self.slots, dtype=np.int64) % self.shards)
+            .all()
+        )
+
+
 class ShardedDictionary(ExternalDictionary):
     """Routes one logical dictionary over ``N`` independent shards.
 
@@ -113,6 +207,12 @@ class ShardedDictionary(ExternalDictionary):
     router:
         Shard-of-key hash; a fixed-seed multiply-shift function by
         default (independent of the tables' bucket hashes).
+    slots:
+        Slot-directory fan-out (must divide by ``shards``); defaults to
+        ``DEFAULT_SLOTS_PER_SHARD * shards``.
+    directory:
+        An existing :class:`SlotDirectory` to route through (e.g. a
+        restored one); built fresh (static map) when omitted.
     """
 
     def __init__(
@@ -122,6 +222,8 @@ class ShardedDictionary(ExternalDictionary):
         *,
         shards: int = 1,
         router: HashFunction | None = None,
+        slots: int | None = None,
+        directory: SlotDirectory | None = None,
         name: str | None = None,
     ) -> None:
         if shards <= 0:
@@ -138,6 +240,16 @@ class ShardedDictionary(ExternalDictionary):
             if router is not None
             else MULTIPLY_SHIFT.sample(ctx.u, seed=_ROUTER_SEED)
         )
+        if directory is not None:
+            if directory.shards != shards:
+                raise ConfigurationError(
+                    f"directory routes {directory.shards} shards, table has "
+                    f"{shards}"
+                )
+            self.directory = directory
+            self.router = directory.router
+        else:
+            self.directory = SlotDirectory(self.router, shards, slots=slots)
         self._contexts = [shard_view(ctx, i) for i in range(shards)]
         self._shards: list[ExternalDictionary] = [
             shard_factory(sub) for sub in self._contexts
@@ -149,12 +261,10 @@ class ShardedDictionary(ExternalDictionary):
         """The shard index ``key`` routes to."""
         if self.shards == 1:
             return 0
-        return int(self.router.hash(key)) % self.shards
+        return self.directory.shard_of(key)
 
     def _shard_idx(self, arr: np.ndarray) -> np.ndarray:
-        return (self.router.hash_array(arr) % np.uint64(self.shards)).astype(
-            np.int64
-        )
+        return self.directory.shards_of(arr)
 
     def _groups(self, arr: np.ndarray) -> list[tuple[int, np.ndarray]]:
         """Stable shard partition returning original positions per group.
@@ -268,6 +378,21 @@ class ShardedDictionary(ExternalDictionary):
             cost_out.extend(costs.tolist())
         return out
 
+    # -- migration -----------------------------------------------------------
+
+    def migrate_slots(self, moves):
+        """Apply slot moves (``[(slot, src, dst), ...]``) to this cluster.
+
+        Thin wrapper over :func:`repro.tables.rebalance.apply_moves`:
+        drains each moved slot's live keys out of the source shard with
+        ``delete_batch`` and re-inserts them into the destination's own
+        namespace, then repoints the directory.  Returns the
+        :class:`~repro.tables.rebalance.MigrationReport`.
+        """
+        from .rebalance import apply_moves
+
+        return apply_moves(self.directory, self._shards, moves)
+
     # -- aggregation ---------------------------------------------------------
 
     @property
@@ -341,14 +466,18 @@ class ShardedDictionary(ExternalDictionary):
             blocks.update(snap.blocks)
             memory_items |= snap.memory_items
         addresses = [snap.address for snap in snaps]
-        router = self.router
+        directory = self.directory
         shards = self.shards
 
         def address(key: int) -> int | None:
             if shards == 1:
                 return addresses[0](key)
-            return addresses[int(router.hash(key)) % shards](key)
+            return addresses[directory.shard_of(key)](key)
 
+        # A static map costs the router seed + shard count to describe
+        # (2 words, as before); a migrated map must also be written down
+        # slot by slot — the honest description cost of adaptivity.
+        route_words = 2 if directory.is_static() else 2 + directory.slots
         return LayoutSnapshot(
             memory_items=memory_items,
             blocks=blocks,
@@ -356,7 +485,7 @@ class ShardedDictionary(ExternalDictionary):
             address_description_words=sum(
                 snap.address_description_words for snap in snaps
             )
-            + 2,
+            + route_words,
         )
 
     def check_invariants(self) -> None:

@@ -24,12 +24,22 @@ set) and are deterministic given a seed.
 from __future__ import annotations
 
 import abc
+from collections import deque
 from typing import Iterator
 
 import numpy as np
 
 from ..hashing.base import HashFunction
-from ..hashing.mixers import splitmix64
+from ..hashing.mixers import splitmix64_array
+
+
+#: Fixed candidate-draw size.  Drawing in constant-size batches (rather
+#: than sized to the caller's request) makes RNG consumption — and so
+#: the emitted key sequence — independent of call granularity:
+#: ``take(n)`` and ``take(a) + take(b)`` with ``a + b = n`` produce the
+#: same keys, which is what lets ``stream(chunk)`` equal ``take`` for
+#: every chunk size (pinned by the determinism tests).
+_DRAW = 1024
 
 
 class KeyGenerator(abc.ABC):
@@ -42,6 +52,8 @@ class KeyGenerator(abc.ABC):
         self.seed = seed
         self._rng = np.random.default_rng(seed)
         self._seen: set[int] = set()
+        #: Drawn-but-not-yet-emitted keys (already deduplicated).
+        self._pending: deque[int] = deque()
 
     @abc.abstractmethod
     def _candidates(self, count: int) -> np.ndarray:
@@ -51,24 +63,27 @@ class KeyGenerator(abc.ABC):
         """The next ``count`` distinct keys."""
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
-        if len(self._seen) + count > self.u:
+        emitted = len(self._seen) - len(self._pending)
+        if emitted + count > self.u:
             raise ValueError(
                 f"cannot produce {count} more distinct keys from a universe "
-                f"of {self.u} with {len(self._seen)} already emitted"
+                f"of {self.u} with {emitted} already emitted"
             )
         out: list[int] = []
         stall = 0
         while len(out) < count:
-            batch = self._candidates(count - len(out) + 16)
+            while self._pending and len(out) < count:
+                out.append(self._pending.popleft())
+            if len(out) == count:
+                break
+            batch = self._candidates(_DRAW)
             fresh = 0
             for key in batch:
                 ki = int(key)
                 if ki not in self._seen:
                     self._seen.add(ki)
-                    out.append(ki)
+                    self._pending.append(ki)
                     fresh += 1
-                    if len(out) == count:
-                        break
             # Guard against degenerate generators that keep proposing
             # the same exhausted support.
             stall = stall + 1 if fresh == 0 else 0
@@ -79,7 +94,12 @@ class KeyGenerator(abc.ABC):
         return out
 
     def stream(self, chunk: int = 1024) -> Iterator[int]:
-        """Endless iterator over distinct keys, fetched in ``chunk``s."""
+        """Endless iterator over distinct keys, fetched in ``chunk``s.
+
+        Identical to :meth:`take` at every chunk size: the fixed-size
+        candidate draws decouple RNG state from how callers slice the
+        stream.
+        """
         while True:
             yield from self.take(chunk)
 
@@ -87,6 +107,7 @@ class KeyGenerator(abc.ABC):
         """Restart the stream from the seed (forgetting emitted keys)."""
         self._rng = np.random.default_rng(self.seed)
         self._seen.clear()
+        self._pending.clear()
 
 
 class UniformKeys(KeyGenerator):
@@ -127,8 +148,7 @@ class ZipfKeys(KeyGenerator):
 
     def _candidates(self, count: int) -> np.ndarray:
         ranks = self._rng.zipf(self.theta, size=count).astype(np.uint64)
-        mixed = np.array([splitmix64(int(r)) for r in ranks], dtype=np.uint64)
-        return mixed % np.uint64(self.u)
+        return splitmix64_array(ranks) % np.uint64(self.u)
 
 
 class ClusteredKeys(KeyGenerator):
@@ -183,13 +203,12 @@ class AdversarialBucketKeys(KeyGenerator):
         self.hot = hot
 
     def _candidates(self, count: int) -> np.ndarray:
-        # Oversample by the expected rejection factor.
+        # Oversample by the expected rejection factor; vectorised filter
+        # (``bucket_array`` pins scalar/vector hash parity).
         factor = max(2, int(self.buckets / self.hot) + 1)
         raw = self._rng.integers(0, self.u, size=count * factor, dtype=np.uint64)
-        keep = [
-            int(x) for x in raw if self.hash_fn.bucket(int(x), self.buckets) < self.hot
-        ]
-        return np.array(keep[:count] if keep else [], dtype=np.uint64)
+        keep = raw[self.hash_fn.bucket_array(raw, self.buckets) < np.uint64(self.hot)]
+        return keep[:count]
 
 
 _GENERATORS = {
@@ -197,6 +216,9 @@ _GENERATORS = {
     "sequential": SequentialKeys,
     "zipf": ZipfKeys,
     "clustered": ClusteredKeys,
+    # Needs ``hash_fn=``/``buckets=`` kwargs (the router under attack);
+    # the CLI supplies the service's own router hash.
+    "adversarial": AdversarialBucketKeys,
 }
 
 

@@ -408,13 +408,17 @@ def test_client_reports_mix_and_latencies():
         "deadline_exceeded",
         "hit_rate",
         "negative_hits",
+        "imbalance",
+        "migrated_slots",
     }
     # Closed-loop runs execute everything: the overload columns are zero
     # and goodput equals throughput.  Uncached clusters zero-fill the
-    # cache columns, keeping one row schema for every configuration.
+    # cache columns, and static (non-rebalancing) runs zero the
+    # migration column, keeping one row schema for every configuration.
     assert row["shed"] == row["rejected"] == row["deadline_exceeded"] == 0
     assert row["queue_p99"] == 0.0
     assert row["hit_rate"] == 0.0 and row["negative_hits"] == 0
+    assert row["migrated_slots"] == 0 and row["imbalance"] >= 0.0
     assert rep.executed_ops == rep.ops
     assert rep.goodput_kops == rep.kops
 
