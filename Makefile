@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: help test test-fast chaos-test overload-test bench cache-bench service-bench slo-bench skew-bench bench-all clean
+.PHONY: help test test-fast chaos-test overload-test obs-test bench cache-bench service-bench slo-bench skew-bench bench-all plots clean
 
 ## Print the entry points (tier-1 invocation included).
 help:
@@ -13,12 +13,14 @@ help:
 	@echo "  make test-fast     quick subset: tables + parity + EM layer"
 	@echo "  make chaos-test    crash-point matrix only: journal/recovery/fault-injection"
 	@echo "  make overload-test open-loop traffic + admission/shedding/breaker invariants"
+	@echo "  make obs-test      observability: trace framing/determinism, metrics, relabelling"
 	@echo "  make bench         scalar-vs-batch + backend x shards perf rows -> BENCH_throughput.json"
 	@echo "  make cache-bench   cold-vs-warm BufferPool rows + plots/*.dat curves -> BENCH_cache.json"
 	@echo "  make service-bench mixed-op service rows (incl. durable+journal leg) -> BENCH_service.json"
 	@echo "  make slo-bench     latency vs offered load sweep + breaker chaos -> BENCH_service.json"
 	@echo "  make skew-bench    static-vs-adaptive routing skew matrix + plots -> BENCH_skew.json"
 	@echo "  make bench-all     every paper-artifact benchmark (slow)"
+	@echo "  make plots         regenerate every plots/*.dat from the checked-in BENCH_*.json"
 	@echo "  make clean         remove caches"
 
 ## Tier-1 verification: the full unit/property suite (chaos included).
@@ -27,13 +29,15 @@ test:
 
 ## Quick subset for inner-loop development (tables + parity + EM layer,
 ## buffer-pool unit tests, the cached-vs-uncached relabelling contract,
-## and the skew-routing contracts: slot directory, rebalancer policy,
-## migration journal, generator determinism).
+## the skew-routing contracts: slot directory, rebalancer policy,
+## migration journal, generator determinism — and the observability
+## contracts: trace framing/determinism, metrics folding, relabelling).
 test-fast:
 	$(PY) -m pytest tests/test_batch_parity.py tests/test_em_disk.py \
 	    tests/test_em_iostats.py tests/test_em_cache.py \
 	    tests/test_cache_axis.py tests/test_buffered.py \
-	    tests/test_logmethod.py tests/test_rebalance.py -q
+	    tests/test_logmethod.py tests/test_rebalance.py \
+	    tests/test_obs.py -q
 
 ## Crash-consistency only: the chaos matrix (crash at every epoch
 ## boundary + sampled intra-epoch backend ops, per policy x backend,
@@ -50,6 +54,14 @@ chaos-test:
 ## (small n) and also part of `make test`.
 overload-test:
 	$(PY) -m pytest tests/test_traffic.py tests/test_overload.py -q
+
+## Observability only: crc-framed trace scans (torn tails, corruption),
+## span-tree determinism (virtual clock, executor-invariant), the
+## metrics registry (counters/histograms/Prometheus dump, snapshot
+## round-trip), the relabelling contract (obs on == obs off, trace sums
+## == ledger), and the trace-summary CLI.  Also part of `make test`.
+obs-test:
+	$(PY) -m pytest tests/test_obs.py -q
 
 ## Perf trajectory: scalar-vs-batch throughput plus the backend x shards
 ## sweep (mapping/arena x 1/8 shards; I/O totals asserted backend-invariant
@@ -100,6 +112,12 @@ skew-bench:
 ## Every paper-artifact benchmark (slow; prints the reproduced tables).
 bench-all:
 	$(PY) -m pytest benchmarks/ --benchmark-only -s -q
+
+## Rebuild every plots/*.dat from the series payloads stashed in the
+## checked-in BENCH_*.json — no benchmark re-run, so plot data can
+## never drift from the recorded numbers.
+plots:
+	$(PY) benchmarks/regen_plots.py
 
 clean:
 	rm -rf .pytest_cache .benchmarks

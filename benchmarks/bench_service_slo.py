@@ -31,21 +31,34 @@ Asserted shape:
   policy is actually shedding, goodput holds at ≥ 60% of capacity
   (no congestion collapse), and accounting conserves every op;
 * **breaker chaos** — the chaos row trips at least one breaker and
-  accounts every op (no silent loss under quarantine).
+  accounts every op (no silent loss under quarantine);
+* **trace overhead** — re-running the closed-loop calibration leg with
+  span tracing to a file costs ≤ 5% kops (best-of-3, alternating) and
+  leaves the charged-I/O ledger bit-identical (tracing relabels, never
+  recounts).
 
 Headline numbers land in ``benchmark.extra_info`` → ``make slo-bench``
-writes ``BENCH_service.json`` at the repo root.
+writes ``BENCH_service.json`` at the repo root.  Every emitted series
+is also stashed in ``extra_info["series"]`` so ``make plots`` can
+regenerate the ``.dat`` files from the JSON alone; the knee-load sweep
+leg additionally exports its per-epoch observability trace as
+``plots/ts_slo_knee.dat``.
 """
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
 from repro.core.buffered import BufferedHashTable
 from repro.em import make_context
 from repro.hashing.family import MULTIPLY_SHIFT
+from repro.obs import TraceRecorder, timeseries_rows
 from repro.service import (
     AdmissionController,
     ClosedLoopClient,
     DictionaryService,
+    ObsConfig,
     OpenLoopClient,
     PoissonArrivals,
     run_overload_chaos,
@@ -53,7 +66,12 @@ from repro.service import (
 from repro.workloads.trace import BulkMixedWorkload
 
 from conftest import emit, once
-from plotdata import write_series
+from plotdata import (
+    series_payload,
+    timeseries_payload,
+    write_series,
+    write_timeseries,
+)
 
 B, M, U = 1024, 4096, 2**61 - 1
 N = 120_000
@@ -76,16 +94,19 @@ CHAOS_N = 60_000
 #: so the stream actually spills to disk — at the sweep's B/M the whole
 #: chaos stream is buffer-resident and there would be no I/O to fault.
 CHAOS_B, CHAOS_M = 64, 512
+#: Trace-overhead gate: kops with file tracing vs. without (best-of-3).
+REQUIRED_TRACE_RATIO = 0.95
+TRACE_TRIALS = 3
 
 
 def _table_factory(ctx):
     return BufferedHashTable(ctx, MULTIPLY_SHIFT.sample(ctx.u, seed=61))
 
 
-def _make_service():
+def _make_service(obs=None):
     ctx = make_context(b=B, m=M, u=U, backend="arena")
     return DictionaryService(
-        ctx, _table_factory, shards=SHARDS, epoch_ops=WINDOW
+        ctx, _table_factory, shards=SHARDS, epoch_ops=WINDOW, obs=obs
     )
 
 
@@ -105,6 +126,36 @@ def _stream(n):
     return wl.take_arrays(n)
 
 
+def _trace_overhead(kinds, keys):
+    """Closed-loop kops with and without file tracing (best-of-3 each).
+
+    Runs the legs alternately so thermal / allocator drift hits both
+    sides equally; also pins the relabelling contract — the charged-I/O
+    ledger must be bit-identical with tracing on.
+    """
+
+    def _leg(obs):
+        with _make_service(obs) as svc:
+            rep = ClosedLoopClient(svc, window=WINDOW).drive(kinds, keys)
+            ledger = svc.io_snapshot().as_dict()
+        return rep.kops, ledger
+
+    best_off = best_on = 0.0
+    ledger_off = ledger_on = None
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = str(Path(tmp) / "overhead.jsonl")
+        for trial in range(TRACE_TRIALS):
+            kops, ledger_off = _leg(None)
+            best_off = max(best_off, kops)
+            Path(trace_path).unlink(missing_ok=True)
+            kops, ledger_on = _leg(ObsConfig(trace_path=trace_path))
+            best_on = max(best_on, kops)
+    assert ledger_on == ledger_off, (
+        f"tracing changed the charged-I/O ledger: {ledger_on} vs {ledger_off}"
+    )
+    return best_off, best_on
+
+
 def test_service_slo_sweep(benchmark):
     def sweep():
         kinds, keys = _stream(N)
@@ -115,9 +166,12 @@ def test_service_slo_sweep(benchmark):
         capacity_kops = base.kops
         service_rate = base.ops / base.seconds
 
-        rows, reports = [], []
+        rows, reports, traces = [], [], []
         for factor in LOADS:
-            with _make_service() as svc:
+            # In-memory recorder per leg: the knee leg's records become
+            # the ts_slo_knee per-epoch export after the knee is known.
+            recorder = TraceRecorder(None)
+            with _make_service(recorder) as svc:
                 client = OpenLoopClient(
                     svc,
                     PoissonArrivals(factor * service_rate, seed=11),
@@ -129,6 +183,7 @@ def test_service_slo_sweep(benchmark):
                 rep = client.drive(kinds, keys)
             rows.append(dict({"load_x": factor}, **rep.row()))
             reports.append(rep)
+            traces.append(recorder.records)
 
         # SLO-aware degradation leg: same overload through an unbounded
         # queue, but every op carries a deadline sized to the queueing
@@ -154,39 +209,58 @@ def test_service_slo_sweep(benchmark):
             policy="shed",
             seed=5,
         )
-        return capacity_kops, service_rate, rows, reports, deadline_rep, chaos
 
-    capacity_kops, service_rate, rows, reports, deadline_rep, chaos = once(
-        benchmark, sweep
-    )
+        kops_off, kops_on = _trace_overhead(kinds, keys)
+        return (
+            capacity_kops,
+            service_rate,
+            rows,
+            reports,
+            traces,
+            deadline_rep,
+            chaos,
+            (kops_off, kops_on),
+        )
+
+    (
+        capacity_kops,
+        service_rate,
+        rows,
+        reports,
+        traces,
+        deadline_rep,
+        chaos,
+        (kops_off, kops_on),
+    ) = once(benchmark, sweep)
     emit(
         f"Open-loop latency vs offered load (capacity {capacity_kops:.1f} "
         f"kops, shed policy, SLO p99 <= {SLO_MS:g} ms)",
         rows,
     )
 
-    # Per-config series for the plotting pipeline (opt-in via
-    # $REPRO_PLOT_DIR, e.g. `make slo-bench`): the shed-policy sweep and
-    # the deadline leg land as separate .dat files keyed by offered load.
+    # Per-config series for the plotting pipeline: emitted as .dat now
+    # (opt-in via $REPRO_PLOT_DIR, e.g. `make slo-bench`) AND stashed in
+    # extra_info["series"] so `make plots` can regenerate them from
+    # BENCH_service.json alone.
     series_cols = (
         "load_x", "goodput_kops", "p50_ms", "p99_ms", "queue_p99",
         "shed", "rejected", "deadline_exceeded",
     )
-    write_series(
-        "slo_sweep_shed",
-        [r for r in rows if isinstance(r["load_x"], float)],
-        columns=series_cols,
-    )
-    write_series(
-        "slo_deadline",
-        [dict(deadline_rep.row(), load_x=LOADS[-1])],
-        columns=series_cols,
-    )
-
     sweep_rows = [r for r in rows if isinstance(r["load_x"], float)]
+    deadline_rows = [dict(deadline_rep.row(), load_x=LOADS[-1])]
+    series = {
+        "slo_sweep_shed": series_payload(sweep_rows, columns=series_cols),
+        "slo_deadline": series_payload(deadline_rows, columns=series_cols),
+    }
+    write_series("slo_sweep_shed", sweep_rows, columns=series_cols)
+    write_series("slo_deadline", deadline_rows, columns=series_cols)
+
     ok_rows = [r for r in sweep_rows if r["p99_ms"] <= SLO_MS]
     assert ok_rows, f"no offered load met the p99 <= {SLO_MS} ms SLO"
     knee = max(ok_rows, key=lambda r: r["goodput_kops"])
+    knee_ts = timeseries_rows(traces[sweep_rows.index(knee)])
+    series["ts_slo_knee"] = timeseries_payload(knee_ts)
+    write_timeseries("slo_knee", knee_ts)
     assert knee["goodput_kops"] >= REQUIRED_KNEE_RATIO * capacity_kops, (
         f"SLO-sustainable goodput {knee['goodput_kops']:.1f} kops is below "
         f"{REQUIRED_KNEE_RATIO:.0%} of closed-loop capacity "
@@ -220,6 +294,19 @@ def test_service_slo_sweep(benchmark):
     assert chaos.accounted == chaos.ops == CHAOS_N
     assert chaos.breaker_trips >= 1, "chaos row never tripped a breaker"
 
+    # Tracing must be observation, not perturbation: ≤5% kops and a
+    # bit-identical ledger (checked inside _trace_overhead).
+    assert kops_on >= REQUIRED_TRACE_RATIO * kops_off, (
+        f"file tracing cost too much: {kops_on:.1f} kops traced vs "
+        f"{kops_off:.1f} untraced"
+    )
+
+    benchmark.extra_info["series"] = series
+    benchmark.extra_info["trace_overhead"] = {
+        "kops_off": round(kops_off, 1),
+        "kops_on": round(kops_on, 1),
+        "ratio": round(kops_on / kops_off, 3),
+    }
     benchmark.extra_info["capacity_kops"] = round(capacity_kops, 1)
     benchmark.extra_info["service_rate_ops"] = round(service_rate, 1)
     benchmark.extra_info["slo_ms"] = SLO_MS
@@ -241,5 +328,7 @@ def test_service_slo_sweep(benchmark):
         f"max sustainable goodput at p99 <= {SLO_MS:g} ms: "
         f"{knee['goodput_kops']:.1f} kops at {knee['load_x']}x "
         f"(capacity {capacity_kops:.1f} kops); chaos: "
-        f"{chaos.breaker_trips} trips, {chaos.executed}/{chaos.ops} executed"
+        f"{chaos.breaker_trips} trips, {chaos.executed}/{chaos.ops} executed; "
+        f"trace overhead: {kops_off:.1f} -> {kops_on:.1f} kops "
+        f"({kops_on / kops_off:.1%})"
     )

@@ -43,10 +43,14 @@ sharded(8) arena config:
 * **relabelling** — lookup/delete results and final cluster size are
   identical static vs. adaptive, per leg.
 
-With ``$REPRO_PLOT_DIR`` set (``make skew-bench``), per-window
-imbalance time series land as ``plots/skew_<leg>_{static,adaptive}.dat``
-and the matrix as ``plots/skew_matrix.dat``.  Headline numbers land in
-``benchmark.extra_info`` → ``BENCH_skew.json``.
+With ``$REPRO_PLOT_DIR`` set (``make skew-bench``), each hostile leg's
+per-epoch observability trace lands through the shared exporter as
+``plots/ts_skew_<leg>_{static,adaptive}.dat`` (the fixed ``TS_COLUMNS``
+schema: kops, io/op, imbalance, migrated slots per epoch) and the
+matrix as ``plots/skew_matrix.dat``.  Headline numbers land in
+``benchmark.extra_info`` → ``BENCH_skew.json``; every series is also
+stashed in ``extra_info["series"]`` so ``make plots`` regenerates the
+``.dat`` files from the JSON alone.
 """
 
 from __future__ import annotations
@@ -58,6 +62,7 @@ import numpy as np
 from repro.core.buffered import BufferedHashTable
 from repro.em import make_context
 from repro.hashing.family import MULTIPLY_SHIFT
+from repro.obs import TraceRecorder, timeseries_rows
 from repro.service import DictionaryService
 from repro.tables.sharded import _ROUTER_SEED
 from repro.workloads.generators import (
@@ -70,7 +75,7 @@ from repro.workloads.generators import (
 from repro.workloads.trace import BulkMixedWorkload
 
 from conftest import emit, once
-from plotdata import write_series
+from plotdata import series_payload, timeseries_payload, write_series, write_timeseries
 
 B, M, U = 1024, 4096, 2**61 - 1
 SHARDS = 8
@@ -147,23 +152,30 @@ def _drive(kinds, keys, *, adaptive: bool) -> dict:
     taken before the drive): the question is where the *traffic* lands.
     Migration drains run between windows and are part of the adaptive
     run's charged totals and wall time — no free moves.
+
+    The gate numbers (ratio, critical path, goodput) stay mark-based;
+    an in-memory span recorder rides along only to feed the per-epoch
+    ``ts_*`` time-series export (the relabelling contract — the trace
+    never changes what is charged — is pinned by ``tests/test_obs.py``).
     """
     ctx = make_context(b=B, m=M, u=U, backend="arena")
+    recorder = TraceRecorder(None)
     with DictionaryService(
         ctx,
         _table_factory,
         shards=SHARDS,
         epoch_ops=WINDOW,
         rebalance=True if adaptive else None,
+        obs=recorder,
     ) as svc:
         marks = svc.shard_io_snapshots()
         base = list(marks)
-        found_parts, removed_parts, series = [], [], []
+        found_parts, removed_parts = [], []
         window_s: list[float] = []
         critical_io = 0
         n = len(kinds)
         t0 = time.perf_counter()
-        for i, lo in enumerate(range(0, n, WINDOW)):
+        for lo in range(0, n, WINDOW):
             t1 = time.perf_counter()
             run = svc.run(kinds[lo : lo + WINDOW], keys[lo : lo + WINDOW])
             window_s.append(time.perf_counter() - t1)
@@ -172,18 +184,7 @@ def _drive(kinds, keys, *, adaptive: bool) -> dict:
             snaps = svc.shard_io_snapshots()
             deltas = [(s - m).total for s, m in zip(snaps, marks)]
             marks = snaps
-            total = sum(deltas)
             critical_io += max(deltas)
-            series.append(
-                {
-                    "window": i,
-                    "io": total,
-                    "imbalance": round(max(deltas) * SHARDS / total, 3)
-                    if total
-                    else 0.0,
-                    "migrated_slots": svc.migrated_slots,
-                }
-            )
         seconds = time.perf_counter() - t0
         totals = [(s - m).total for s, m in zip(svc.shard_io_snapshots(), base)]
         return {
@@ -194,7 +195,7 @@ def _drive(kinds, keys, *, adaptive: bool) -> dict:
             "critical_io": critical_io,
             "ratio": max(totals) * SHARDS / sum(totals),
             "shard_io": totals,
-            "series": series,
+            "ts": timeseries_rows(recorder.records),
             "found": np.concatenate(found_parts),
             "removed": np.concatenate(removed_parts),
             "size": len(svc),
@@ -257,31 +258,33 @@ def test_skew_matrix(benchmark):
 
     gates, matrix = once(benchmark, sweep)
 
-    rows = []
+    rows, series = [], {}
     for leg in gates:
         static, adaptive = gates[leg]
         _assert_relabelling(leg, static, adaptive)
         rows.append(_row(leg, GATE_N, "static", static))
         rows.append(_row(leg, GATE_N, "adaptive", adaptive))
+        # Per-epoch observability export, one series per (leg, routing):
+        # plots/ts_skew_<leg>_<mode>.dat via the shared exporter.
         for mode, r in (("static", static), ("adaptive", adaptive)):
-            write_series(
-                f"skew_{leg.replace('-', '_')}_{mode}",
-                r["series"],
-                columns=("window", "io", "imbalance", "migrated_slots"),
-            )
+            name = f"skew_{leg.replace('-', '_')}_{mode}"
+            series[f"ts_{name}"] = timeseries_payload(r["ts"])
+            write_timeseries(name, r["ts"])
     matrix_rows = []
     for leg in matrix:
         static, adaptive = matrix[leg]
         _assert_relabelling(leg, static, adaptive)
         matrix_rows.append(_row(leg, MATRIX_N, "static", static))
         matrix_rows.append(_row(leg, MATRIX_N, "adaptive", adaptive))
+    matrix_cols = (
+        "leg", "n", "routing", "kops", "worst/mean",
+        "migrated_slots", "migration_io",
+    )
+    series["skew_matrix"] = series_payload(
+        [dict(r) for r in rows + matrix_rows], columns=matrix_cols
+    )
     write_series(
-        "skew_matrix",
-        [dict(r) for r in rows + matrix_rows],
-        columns=(
-            "leg", "n", "routing", "kops", "worst/mean",
-            "migrated_slots", "migration_io",
-        ),
+        "skew_matrix", [dict(r) for r in rows + matrix_rows], columns=matrix_cols
     )
     emit(
         f"Skew gates: static vs adaptive routing, n={GATE_N:,}, "
@@ -339,6 +342,7 @@ def test_skew_matrix(benchmark):
 
     benchmark.extra_info["gate_rows"] = rows
     benchmark.extra_info["matrix_rows"] = matrix_rows
+    benchmark.extra_info["series"] = series
     print(
         "skew gates: "
         + "; ".join(

@@ -17,14 +17,38 @@ looping over configs) works with no JSON post-processing.
 Emission is opt-in: series land under ``$REPRO_PLOT_DIR`` when it is
 set (``make cache-bench`` points it at ``plots/``) and are skipped
 silently otherwise, so a plain ``make bench`` writes no extra files.
+
+Benches should also stash every series they emit into
+``benchmark.extra_info["series"]`` via :func:`series_payload`; the
+``make plots`` target (``benchmarks/regen_plots.py``) then regenerates
+every ``plots/*.dat`` from the checked-in ``BENCH_*.json``, so plot
+data can never silently go stale relative to the recorded numbers.
+
+:func:`write_timeseries` is the shared exporter for *per-epoch* series
+derived from an observability trace (:mod:`repro.obs.export`): one
+``plots/ts_<name>.dat`` per configuration with the fixed
+``TS_COLUMNS`` schema (kops, io/op, hit rate, imbalance, queue depth,
+sheds, migrations per epoch).
 """
 
 from __future__ import annotations
 
 import os
+import sys
 from pathlib import Path
 
-__all__ = ["plot_dir", "write_series"]
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.export import TS_COLUMNS  # noqa: E402
+
+__all__ = [
+    "TS_COLUMNS",
+    "plot_dir",
+    "series_payload",
+    "timeseries_payload",
+    "write_series",
+    "write_timeseries",
+]
 
 
 def plot_dir() -> Path | None:
@@ -72,3 +96,39 @@ def write_series(
     path = out / f"{name}.dat"
     path.write_text("\n".join(line.rstrip() for line in lines) + "\n")
     return path
+
+
+def write_timeseries(
+    name: str, rows: list[dict], *, outdir: str | Path | None = None
+) -> Path | None:
+    """Write a per-epoch observability series as ``ts_<name>.dat``.
+
+    ``rows`` come from :func:`repro.obs.export.timeseries_rows`; the
+    column set is the fixed :data:`TS_COLUMNS` schema so every
+    configuration's file plots with the same gnuplot recipe.
+    """
+    return write_series(f"ts_{name}", rows, columns=TS_COLUMNS, outdir=outdir)
+
+
+def series_payload(rows: list[dict], *, columns: tuple[str, ...]) -> dict:
+    """JSON-serialisable series for ``benchmark.extra_info["series"]``.
+
+    Store as ``extra_info["series"][name] = series_payload(...)``; the
+    ``make plots`` regenerator replays every stored payload through
+    :func:`write_series`, so the ``.dat`` files are a pure function of
+    the checked-in ``BENCH_*.json``.
+    """
+    return {
+        "columns": list(columns),
+        "rows": [{c: row[c] for c in columns} for row in rows],
+    }
+
+
+def timeseries_payload(rows: list[dict]) -> dict:
+    """:func:`series_payload` with the ``ts_*`` schema pre-applied.
+
+    Store under the ``ts_``-prefixed name (``series["ts_slo_knee"]``) so
+    the regenerator writes the same filename :func:`write_timeseries`
+    does.
+    """
+    return series_payload(rows, columns=TS_COLUMNS)

@@ -1,0 +1,59 @@
+"""Regenerate every ``plots/*.dat`` from the checked-in ``BENCH_*.json``.
+
+Benches stash each series they emit into
+``benchmark.extra_info["series"]`` (a ``{name: {columns, rows}}`` dict,
+see :func:`plotdata.series_payload`), so the ``.dat`` plot files are a
+pure function of the recorded benchmark JSON.  ``make plots`` runs this
+script to rebuild them all without re-running any benchmark::
+
+    $ python benchmarks/regen_plots.py
+    plots/slo_sweep_shed.dat
+    plots/ts_slo_knee.dat
+    ...
+
+Exits non-zero if no ``BENCH_*.json`` holds any series payload, so a
+broken pipeline can't silently produce an empty plots directory.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from plotdata import write_series
+
+
+def regen(root: Path, outdir: Path) -> list[Path]:
+    """Rewrite every stored series under ``outdir``; return the paths."""
+    written: list[Path] = []
+    for bench_file in sorted(root.glob("BENCH_*.json")):
+        data = json.loads(bench_file.read_text())
+        for bench in data.get("benchmarks", []):
+            series = bench.get("extra_info", {}).get("series", {})
+            for name in sorted(series):
+                payload = series[name]
+                path = write_series(
+                    name,
+                    payload["rows"],
+                    columns=tuple(payload["columns"]),
+                    outdir=outdir,
+                )
+                if path is not None:
+                    written.append(path)
+    return written
+
+
+def main(argv: list[str] | None = None) -> int:
+    root = Path(__file__).resolve().parent.parent
+    written = regen(root, root / "plots")
+    if not written:
+        print("regen_plots: no series payloads in BENCH_*.json", file=sys.stderr)
+        return 1
+    for path in written:
+        print(path.relative_to(root))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

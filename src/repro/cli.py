@@ -16,6 +16,9 @@ code:
   checkpointed (``--snapshot``).
 * ``recover``   — rebuild a crashed ``serve`` run from its snapshot +
   journal and report what was replayed.
+* ``trace-summary`` — per-epoch table + slowest shard batches from a
+  ``serve --trace`` span-trace file (``--torn-ok`` accepts the valid
+  prefix of a crash-truncated trace).
 * ``slo``       — sweep open-loop offered load across the capacity knee
   and report goodput, queueing-inclusive p99, and the max sustainable
   rate under a p99 SLO.
@@ -46,6 +49,7 @@ from .core.config import (
     KEY_DISTS,
     OVERLOAD_POLICIES,
     BufferedParams,
+    ObsConfig,
     StorageConfig,
     TrafficConfig,
 )
@@ -306,6 +310,13 @@ def _traffic(args) -> TrafficConfig:
     )
 
 
+def _obs(args) -> ObsConfig | None:
+    """Observability config from ``serve``'s flags (None = untraced)."""
+    if not args.trace and not args.metrics_every:
+        return None
+    return ObsConfig(trace_path=args.trace, metrics_every=args.metrics_every)
+
+
 def _validate_serve(args) -> str | None:
     """Reject malformed service inputs with a message, not a traceback."""
     mix_sum = sum(args.mix)
@@ -328,6 +339,7 @@ def _validate_serve(args) -> str | None:
         )
     try:
         _traffic(args)
+        _obs(args)
     except ConfigurationError as exc:
         return str(exc)
     return None
@@ -375,7 +387,14 @@ def cmd_serve(args) -> int:
         journal=journal,
         slots=args.slots,
         rebalance=args.rebalance or None,
+        obs=_obs(args),
     ) as svc:
+        if args.metrics_every:
+            def _dump(epoch: int, registry) -> None:
+                print(f"-- metrics @ epoch {epoch} --")
+                print(registry.render(), end="")
+
+            svc.metrics_listener = _dump
         if args.snapshot:
             # The t=0 checkpoint: `repro recover` rebuilds the final
             # state from it plus the journal's committed epochs.
@@ -416,6 +435,65 @@ def cmd_serve(args) -> int:
             print(f"journal: {journal.committed_epochs} epochs committed, "
                   f"{journal.bytes_written} bytes -> {args.journal}")
             journal.close()
+        if args.trace:
+            print(f"trace: {svc.recorder.seq} records -> {args.trace}")
+        if args.metrics_every:
+            print(f"-- metrics @ end ({svc.epochs_run} epochs) --")
+            print(svc.metrics().render(), end="")
+    return 0
+
+
+def cmd_trace_summary(args) -> int:
+    from .obs import charged_io, scan_trace, slowest_shard_batches, summarize_epochs
+
+    if args.top <= 0:
+        print(f"trace-summary: --top must be positive, got {args.top}",
+              file=sys.stderr)
+        return 2
+    try:
+        scan = scan_trace(args.trace)
+    except OSError as exc:
+        print(f"trace-summary: {exc}", file=sys.stderr)
+        return 2
+    if not scan.records:
+        print(f"trace-summary: {args.trace}: no valid trace records",
+              file=sys.stderr)
+        return 2
+    if scan.truncated and not args.torn_ok:
+        print(
+            f"trace-summary: {args.trace}: torn/corrupt record after line "
+            f"{scan.valid_lines} of {scan.total_lines} "
+            f"(use --torn-ok to summarise the valid prefix)",
+            file=sys.stderr,
+        )
+        return 2
+    records = scan.records
+    if scan.truncated:
+        print(
+            f"trace-summary: warning: summarising {scan.valid_lines} valid "
+            f"records (torn tail after line {scan.valid_lines})",
+            file=sys.stderr,
+        )
+    epochs = summarize_epochs(records)
+    if not epochs:
+        print(f"trace-summary: {args.trace}: trace contains no epoch spans",
+              file=sys.stderr)
+        return 2
+    print(format_rows(epochs))
+    slow = slowest_shard_batches(records, top=args.top)
+    if slow:
+        print(f"\nslowest {len(slow)} shard batches:")
+        print(format_rows(slow))
+    total_ops = sum(r["ops"] for r in epochs)
+    events = sum(
+        1 for r in records if r.get("t") in ("fsync", "rebalance", "breaker",
+                                             "admission", "cache_evict")
+    )
+    print(
+        f"\n{len(epochs)} epochs, {total_ops} ops, "
+        f"{charged_io(records)} charged I/Os attributed "
+        f"({events} point events, {len(records)} records)"
+    )
     return 0
 
 
@@ -623,8 +701,38 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="slot-directory size (multiple of --shards; default 64/shard)",
     )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a crc-framed JSONL span trace (crash-surviving; "
+        "summarise with `repro trace-summary`)",
+    )
+    p.add_argument(
+        "--metrics-every",
+        type=int,
+        default=0,
+        metavar="K",
+        help="print a Prometheus-style metrics dump every K epochs "
+        "(plus one at end; 0 = off)",
+    )
     _add_traffic(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "trace-summary",
+        help="per-epoch table + slowest shard batches from a --trace file",
+    )
+    p.add_argument("trace", metavar="FILE",
+                   help="crc-framed JSONL trace written by `serve --trace`")
+    p.add_argument("--top", type=int, default=5,
+                   help="how many slowest shard batches to show")
+    p.add_argument(
+        "--torn-ok",
+        action="store_true",
+        help="accept a crash-truncated trace and summarise its valid prefix",
+    )
+    p.set_defaults(func=cmd_trace_summary)
 
     p = sub.add_parser(
         "slo", help="open-loop offered-load sweep against a p99 SLO"

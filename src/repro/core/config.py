@@ -245,6 +245,43 @@ class TrafficConfig:
 
 
 @dataclass(frozen=True)
+class ObsConfig:
+    """Knobs of the observability layer (:mod:`repro.obs`).
+
+    Observability is strictly relabelling: enabling it never changes
+    ledgers, layouts, or results — it only attributes the charges the
+    service already makes to spans and metric series.
+
+    Attributes
+    ----------
+    trace_path:
+        Destination for the crc-framed JSONL span trace (``serve
+        --trace out.jsonl``); ``None`` disables span tracing (the
+        metrics registry stays on — it is a handful of integer folds
+        per epoch).
+    metrics_every:
+        Emit a Prometheus-style metrics dump to the service's
+        ``metrics_listener`` every N closed epochs; ``0`` disables
+        periodic dumps.
+    wall_clock:
+        Stamp trace records with wall-clock fields.  Disable for
+        byte-reproducible trace files (virtual-clock stamps remain).
+    """
+
+    trace_path: str | None = None
+    metrics_every: int = 0
+    wall_clock: bool = True
+
+    def __post_init__(self) -> None:
+        if self.metrics_every < 0:
+            raise ConfigurationError(
+                f"metrics_every must be non-negative, got {self.metrics_every}"
+            )
+        if self.trace_path is not None and not str(self.trace_path):
+            raise ConfigurationError("trace_path must be a non-empty path")
+
+
+@dataclass(frozen=True)
 class BufferedParams:
     """Parameters of the Theorem 2 construction.
 

@@ -114,6 +114,16 @@ class CacheStats:
         self.writebacks += delta.writebacks
         self.evictions += delta.evictions
 
+    def as_dict(self) -> dict:
+        """Plain-dict counter view (trace spans, metrics folding)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "negative_hits": self.negative_hits,
+            "writebacks": self.writebacks,
+            "evictions": self.evictions,
+        }
+
 
 class BufferPool:
     """Write-back LRU cache of disk blocks.

@@ -112,6 +112,20 @@ class Disk:
         #: Outstanding copy-light loans: id -> (generation, fresh, handle).
         self._loans: dict[int, tuple[int, bool, Block]] = {}
 
+    def describe(self) -> dict:
+        """Telemetry descriptor of geometry + caching axis.
+
+        Consumed by the observability layer's ``run_start`` span so a
+        trace is self-describing; pure metadata, charges nothing.
+        """
+        pool = self.cache
+        return {
+            "b": self.b,
+            "record_words": self.record_words,
+            "backend": type(self.backend).__name__,
+            "cache_blocks": pool.capacity_blocks if pool is not None else 0,
+        }
+
     # -- allocation ---------------------------------------------------------
 
     def allocate(self, *, record_words: int | None = None) -> int:

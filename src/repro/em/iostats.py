@@ -71,6 +71,15 @@ class IOSnapshot:
             allocations=self.allocations - other.allocations,
         )
 
+    def as_dict(self) -> dict:
+        """Plain-dict counter view (trace spans, metrics folding)."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "combined": self.combined,
+            "allocations": self.allocations,
+        }
+
 
 @dataclass
 class IOStats:

@@ -1,0 +1,52 @@
+"""Unified observability: span tracing, metrics, time-series export.
+
+Three layers over the service's existing charged-I/O ledgers, all of
+them relabelling (observability off ⇒ bit-identical behaviour; on ⇒
+the same ledgers, just attributed to spans and series):
+
+* :mod:`repro.obs.trace` — :class:`TraceRecorder` span trees
+  (``run → epoch → shard_batch`` + point events) as crash-surviving
+  crc-framed JSONL.
+* :mod:`repro.obs.metrics` — the always-on :class:`MetricsRegistry`
+  (counters / gauges / log-scale histograms, Prometheus text dump).
+* :mod:`repro.obs.export` — per-epoch time-series rows for
+  ``plots/ts_*.dat`` and the ``repro trace-summary`` tables.
+"""
+
+from .metrics import LogHistogram, MetricsRegistry, metric_key
+from .trace import (
+    WALL_FIELDS,
+    TraceRecorder,
+    TraceScan,
+    charged_io,
+    frame_record,
+    scan_trace,
+    strip_wall,
+    unframe_line,
+)
+from .export import (
+    TS_COLUMNS,
+    epoch_spans,
+    slowest_shard_batches,
+    summarize_epochs,
+    timeseries_rows,
+)
+
+__all__ = [
+    "LogHistogram",
+    "MetricsRegistry",
+    "metric_key",
+    "WALL_FIELDS",
+    "TraceRecorder",
+    "TraceScan",
+    "charged_io",
+    "frame_record",
+    "scan_trace",
+    "strip_wall",
+    "unframe_line",
+    "TS_COLUMNS",
+    "epoch_spans",
+    "slowest_shard_batches",
+    "summarize_epochs",
+    "timeseries_rows",
+]

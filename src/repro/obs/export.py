@@ -1,0 +1,166 @@
+"""Turn a span trace into per-epoch time-series rows and summaries.
+
+This is the bridge between :class:`~repro.obs.trace.TraceRecorder`
+output and the plot-data layer (``benchmarks/plotdata.py`` →
+``plots/ts_*.dat``): one row per epoch span, with the point events
+(admission, rebalance) attributed to the epoch they closed against.
+
+Columns (the :data:`TS_COLUMNS` schema):
+
+========== ==========================================================
+epoch      epoch index within the trace
+ops        operations committed by the epoch
+kops       throughput over the epoch's own wall time (0 if untimed)
+io_op      charged I/O per operation for the epoch
+hit_rate   cache hit rate of the epoch's delta (0 when uncached)
+imbalance  max-shard-I/O x shards / total-I/O for the epoch (1.0 = even)
+queue      admission queue depth observed at the epoch boundary
+shed       ops shed + rejected + expired during the epoch
+migrated   cumulative slots migrated by the end of the epoch
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TS_COLUMNS",
+    "epoch_spans",
+    "slowest_shard_batches",
+    "summarize_epochs",
+    "timeseries_rows",
+]
+
+TS_COLUMNS = (
+    "epoch",
+    "ops",
+    "kops",
+    "io_op",
+    "hit_rate",
+    "imbalance",
+    "queue",
+    "shed",
+    "migrated",
+)
+
+
+def epoch_spans(records) -> list[dict]:
+    """The epoch spans of a trace, in emission order."""
+    return [r for r in records if r.get("t") == "epoch"]
+
+
+def _epoch_of(record: dict) -> int:
+    return int(record.get("epoch", 0))
+
+
+def timeseries_rows(records) -> list[dict]:
+    """One :data:`TS_COLUMNS` row per epoch span in ``records``."""
+    admission: dict[int, dict] = {}
+    dropped: dict[int, int] = {}
+    migrated: dict[int, int] = {}
+    last_admission: dict | None = None
+    migrated_total = 0
+    for record in records:
+        kind = record.get("t")
+        if kind == "admission":
+            epoch = _epoch_of(record)
+            admission[epoch] = record
+            prev = last_admission or {}
+            delta = sum(
+                record.get(field, 0) - prev.get(field, 0)
+                for field in ("shed", "rejected", "expired")
+            )
+            dropped[epoch] = dropped.get(epoch, 0) + delta
+            last_admission = record
+        elif kind == "rebalance":
+            migrated_total += record.get("slots_moved", 0)
+            migrated[_epoch_of(record)] = migrated_total
+
+    rows: list[dict] = []
+    running_migrated = 0
+    for span in epoch_spans(records):
+        epoch = _epoch_of(span)
+        ops = span.get("ops", span.get("stop", 0) - span.get("start", 0))
+        io = span.get("io", 0)
+        wall_ms = span.get("wall_ms", 0.0)
+        shards = span.get("shards", [])
+        shard_io = [s.get("io", 0) for s in shards]
+        total = sum(shard_io)
+        imbalance = (
+            max(shard_io) * len(shard_io) / total if total and shard_io else 0.0
+        )
+        cache = span.get("cache")
+        if cache:
+            accesses = cache.get("hits", 0) + cache.get("misses", 0)
+            hit_rate = cache.get("hits", 0) / accesses if accesses else 0.0
+        else:
+            hit_rate = 0.0
+        running_migrated = migrated.get(epoch, running_migrated)
+        gate = admission.get(epoch)
+        rows.append(
+            {
+                "epoch": epoch,
+                "ops": ops,
+                "kops": round(ops / wall_ms, 1) if wall_ms else 0.0,
+                "io_op": round(io / ops, 4) if ops else 0.0,
+                "hit_rate": round(hit_rate, 4),
+                "imbalance": round(imbalance, 3),
+                "queue": gate.get("queue", 0) if gate else 0,
+                "shed": dropped.get(epoch, 0),
+                "migrated": running_migrated,
+            }
+        )
+    return rows
+
+
+def summarize_epochs(records) -> list[dict]:
+    """Per-epoch summary rows for ``repro trace-summary``."""
+    rows = []
+    for span in epoch_spans(records):
+        ops = span.get("stop", 0) - span.get("start", 0)
+        io = span.get("io", 0)
+        shards = span.get("shards", [])
+        shard_io = [s.get("io", 0) for s in shards]
+        total = sum(shard_io)
+        row = {
+            "epoch": _epoch_of(span),
+            "ops": ops,
+            "inserts": span.get("inserts", 0),
+            "lookups": span.get("lookups", 0),
+            "deletes": span.get("deletes", 0),
+            "io": io,
+            "io/op": io / ops if ops else 0.0,
+            "imbalance": (
+                max(shard_io) * len(shard_io) / total if total and shard_io else 0.0
+            ),
+        }
+        if "wall_ms" in span:
+            row["wall_ms"] = span["wall_ms"]
+        if "vt" in span:
+            row["vt"] = span["vt"]
+        rows.append(row)
+    return rows
+
+
+def slowest_shard_batches(records, top: int = 5) -> list[dict]:
+    """The ``top`` shard-batch sub-spans ranked slowest-first.
+
+    Ranked by per-batch wall time when the trace carries it, by charged
+    I/O otherwise (wall-free traces are still summarizable).
+    """
+    batches = []
+    for span in epoch_spans(records):
+        for batch in span.get("shards", []):
+            batches.append(
+                {
+                    "epoch": _epoch_of(span),
+                    "shard": batch.get("shard", 0),
+                    "io": batch.get("io", 0),
+                    "reads": batch.get("reads", 0),
+                    "writes": batch.get("writes", 0),
+                    "wall_ms": batch.get("wall_ms", 0.0),
+                }
+            )
+    timed = any(b["wall_ms"] for b in batches)
+    key = (lambda b: (b["wall_ms"], b["io"])) if timed else (lambda b: b["io"])
+    batches.sort(key=key, reverse=True)
+    return batches[:top]

@@ -20,13 +20,17 @@ Turns the reproduction's dictionaries into a servable system:
   and snapshot+journal crash recovery;
 * :mod:`repro.service.faults` — deterministic fault injection,
   retry-with-backoff healing, per-shard circuit breakers, and the
-  crash-recovery + overload chaos harnesses.
+  crash-recovery + overload chaos harnesses;
+* :mod:`repro.obs` (re-exported here) — the observability layer: span
+  tracing (``DictionaryService(obs=...)``), the always-on
+  ``service.metrics()`` registry, and per-epoch time-series export.
 
 See ``src/repro/service/README.md`` for the epoch/executor, durability,
 and overload/SLO guarantees.
 """
 
-from ..core.config import RebalanceConfig
+from ..core.config import ObsConfig, RebalanceConfig
+from ..obs import MetricsRegistry, TraceRecorder, scan_trace
 from ..tables.rebalance import MigrationReport, Rebalancer, SlotMove
 from ..tables.sharded import SlotDirectory
 from .admission import (
@@ -81,8 +85,12 @@ from .traffic import (
 )
 
 __all__ = [
+    "MetricsRegistry",
     "MigrationReport",
+    "ObsConfig",
     "RebalanceConfig",
+    "TraceRecorder",
+    "scan_trace",
     "Rebalancer",
     "SlotDirectory",
     "SlotMove",

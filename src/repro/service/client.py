@@ -36,7 +36,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..em.cache import CacheStats
 from ..em.errors import StorageFault
+from ..em.iostats import IOSnapshot
 from ..workloads.trace import OP_DELETE, OP_INSERT, OP_LOOKUP
 from .admission import (
     EXECUTED,
@@ -101,6 +103,43 @@ def _imbalance(before, after) -> float:
 
 
 @dataclass(frozen=True)
+class _ServiceMarks:
+    """Start-of-run marks of the service-side ledgers a report summarises.
+
+    One :meth:`capture`/:meth:`settle` pair shared by both load models:
+    every service-derived report column (cache delta, run imbalance,
+    migrated slots) is computed — and therefore zero-filled for
+    configurations where it doesn't apply — in exactly one place.
+    Before this helper each client zero-filled the columns separately,
+    and ``hit_rate``/``imbalance`` each had to be patched at two sites
+    when they were added.
+    """
+
+    cache: CacheStats
+    shard_io: list[IOSnapshot]
+    migrated: int
+
+    @classmethod
+    def capture(cls, service: "DictionaryService") -> "_ServiceMarks":
+        return cls(
+            cache=service.cache_snapshot(),
+            shard_io=service.shard_io_snapshots(),
+            migrated=service.migrated_slots,
+        )
+
+    def settle(self, service: "DictionaryService") -> dict:
+        """The service-derived ``ClientReport`` fields for the run since
+        :meth:`capture` — pass as ``**marks.settle(service)``."""
+        cache = service.cache_snapshot().delta_since(self.cache)
+        return {
+            "hit_rate": cache.hit_rate,
+            "negative_hits": cache.negative_hits,
+            "imbalance": _imbalance(self.shard_io, service.shard_io_snapshots()),
+            "migrated_slots": service.migrated_slots - self.migrated,
+        }
+
+
+@dataclass(frozen=True)
 class ClientReport:
     """One client run: throughput, latency distribution, and accounting.
 
@@ -157,24 +196,34 @@ class ClientReport:
     def amortized_io(self) -> float:
         return self.io_total / self.ops if self.ops else 0.0
 
+    #: ``row()`` schema: (column, source attribute, round digits).  One
+    #: table instead of a hand-built dict, so adding a column is one
+    #: line and closed-loop/uncached/static rows zero-fill through the
+    #: dataclass defaults — no per-site fill to drift.
+    ROW_SCHEMA = (
+        ("ops", "ops", None),
+        ("epochs", "epochs", None),
+        ("kops", "kops", 1),
+        ("goodput_kops", "goodput_kops", 1),
+        ("p50_ms", "p50_ms", 3),
+        ("p99_ms", "p99_ms", 3),
+        ("queue_p99", "queue_p99_ms", 3),
+        ("io/op", "amortized_io", 4),
+        ("shed", "shed", None),
+        ("rejected", "rejected", None),
+        ("deadline_exceeded", "deadline_exceeded", None),
+        ("hit_rate", "hit_rate", 4),
+        ("negative_hits", "negative_hits", None),
+        ("imbalance", "imbalance", 2),
+        ("migrated_slots", "migrated_slots", None),
+    )
+
     def row(self) -> dict[str, float | int]:
-        return {
-            "ops": self.ops,
-            "epochs": self.epochs,
-            "kops": round(self.kops, 1),
-            "goodput_kops": round(self.goodput_kops, 1),
-            "p50_ms": round(self.p50_ms, 3),
-            "p99_ms": round(self.p99_ms, 3),
-            "queue_p99": round(self.queue_p99_ms, 3),
-            "io/op": round(self.amortized_io, 4),
-            "shed": self.shed,
-            "rejected": self.rejected,
-            "deadline_exceeded": self.deadline_exceeded,
-            "hit_rate": round(self.hit_rate, 4),
-            "negative_hits": self.negative_hits,
-            "imbalance": round(self.imbalance, 2),
-            "migrated_slots": self.migrated_slots,
-        }
+        out: dict[str, float | int] = {}
+        for column, attr, digits in self.ROW_SCHEMA:
+            value = getattr(self, attr)
+            out[column] = round(value, digits) if digits is not None else value
+        return out
 
 
 class ClosedLoopClient:
@@ -216,9 +265,7 @@ class ClosedLoopClient:
         latencies: list[tuple[float, int]] = []
         epochs = 0
         io_total = 0
-        cache_mark = self.service.cache_snapshot()
-        shard_marks = self.service.shard_io_snapshots()
-        migrated_mark = self.service.migrated_slots
+        marks = _ServiceMarks.capture(self.service)
         t_start = time.perf_counter()
         for lo in range(0, n, self.window):
             hi = min(lo + self.window, n)
@@ -238,7 +285,6 @@ class ClosedLoopClient:
                         "closed-loop check: a delete targeted a non-live key"
                     )
         seconds = time.perf_counter() - t_start
-        cache = self.service.cache_snapshot().delta_since(cache_mark)
         return ClientReport(
             ops=n,
             inserts=int(np.count_nonzero(kinds == OP_INSERT)),
@@ -250,10 +296,7 @@ class ClosedLoopClient:
             p50_ms=_weighted_percentile(latencies, 50) * 1e3,
             p99_ms=_weighted_percentile(latencies, 99) * 1e3,
             max_ms=(max(v for v, _ in latencies) * 1e3) if latencies else 0.0,
-            hit_rate=cache.hit_rate,
-            negative_hits=cache.negative_hits,
-            imbalance=_imbalance(shard_marks, self.service.shard_io_snapshots()),
-            migrated_slots=self.service.migrated_slots - migrated_mark,
+            **marks.settle(self.service),
         )
 
 
@@ -348,20 +391,43 @@ class OpenLoopClient:
         self._io = 0
         lat = np.zeros(n, dtype=np.float64)
         qdel = np.zeros(n, dtype=np.float64)
-        cache_mark = self.service.cache_snapshot()
-        shard_marks = self.service.shard_io_snapshots()
-        migrated_mark = self.service.migrated_slots
+        marks = _ServiceMarks.capture(self.service)
+        recorder = self.service.recorder
+        breaker_marks = (
+            (self.breaker.trips, self.breaker.recoveries)
+            if self.breaker is not None
+            else (0, 0)
+        )
+        if (
+            self.breaker is not None
+            and recorder is not None
+            and self.breaker.on_transition is None
+        ):
+            # Every breaker transition becomes a trace point event,
+            # stamped with the board's own (virtual) clock.
+            def _on_transition(shard, old, new, clock):
+                recorder.emit(
+                    "breaker",
+                    **{"shard": shard, "from": old, "to": new, "clock": clock},
+                )
+
+            self.breaker.on_transition = _on_transition
         if n == 0:
             makespan = 0.0
         elif self.controller.transparent and self.breaker is None:
             makespan = self._drive_transparent(kinds, keys, t, outcomes, lat, qdel)
         else:
             makespan = self._drive_queued(kinds, keys, t, outcomes, lat, qdel)
+        if recorder is not None:
+            recorder.vt = None
         exec_mask = outcomes == EXECUTED
         executed = int(np.count_nonzero(exec_mask))
         elat = lat[exec_mask]
         equeue = qdel[exec_mask]
-        cache = self.service.cache_snapshot().delta_since(cache_mark)
+        shed = int(np.count_nonzero(outcomes == SHED))
+        rejected = int(np.count_nonzero(outcomes == REJECTED))
+        expired = int(np.count_nonzero(outcomes == EXPIRED))
+        self._fold_drive_metrics(executed, shed, rejected, expired, breaker_marks)
         return ClientReport(
             ops=n,
             inserts=int(np.count_nonzero(kinds == OP_INSERT)),
@@ -374,16 +440,38 @@ class OpenLoopClient:
             p99_ms=_array_percentile(elat, 99) * 1e3,
             max_ms=float(elat.max()) * 1e3 if executed else 0.0,
             executed=executed,
-            shed=int(np.count_nonzero(outcomes == SHED)),
-            rejected=int(np.count_nonzero(outcomes == REJECTED)),
-            deadline_exceeded=int(np.count_nonzero(outcomes == EXPIRED)),
+            shed=shed,
+            rejected=rejected,
+            deadline_exceeded=expired,
             queue_p50_ms=_array_percentile(equeue, 50) * 1e3,
             queue_p99_ms=_array_percentile(equeue, 99) * 1e3,
-            hit_rate=cache.hit_rate,
-            negative_hits=cache.negative_hits,
-            imbalance=_imbalance(shard_marks, self.service.shard_io_snapshots()),
-            migrated_slots=self.service.migrated_slots - migrated_mark,
+            **marks.settle(self.service),
         )
+
+    def _fold_drive_metrics(
+        self,
+        executed: int,
+        shed: int,
+        rejected: int,
+        expired: int,
+        breaker_marks: tuple[int, int],
+    ) -> None:
+        """Fold this drive's admission/breaker outcomes into the
+        service's metrics registry (deterministic counts only)."""
+        metrics = self.service.metrics()
+        metrics.inc("repro_admission_total", executed, outcome="executed")
+        metrics.inc("repro_admission_total", shed, outcome="shed")
+        metrics.inc("repro_admission_total", rejected, outcome="rejected")
+        metrics.inc("repro_admission_total", expired, outcome="expired")
+        if self.breaker is not None:
+            trips_mark, recoveries_mark = breaker_marks
+            metrics.inc(
+                "repro_breaker_trips_total", self.breaker.trips - trips_mark
+            )
+            metrics.inc(
+                "repro_breaker_recoveries_total",
+                self.breaker.recoveries - recoveries_mark,
+            )
 
     # -- transparent fast path ----------------------------------------------
 
@@ -407,10 +495,15 @@ class OpenLoopClient:
         arrived and the service is free).
         """
         svc = self.service
+        recorder = svc.recorder
         bounds = conflict_bounds(kinds, keys, max_ops=svc.epoch_ops)
         now = 0.0
         for lo, hi in zip(bounds, bounds[1:]):
             start = max(now, float(t[hi - 1]))
+            if recorder is not None:
+                # Epoch spans emitted inside run() carry the dispatch's
+                # virtual time — deterministic with a service_rate.
+                recorder.vt = start
             run = svc.run(kinds[lo:hi], keys[lo:hi])
             elapsed = (
                 (hi - lo) / self.service_rate
@@ -440,6 +533,33 @@ class OpenLoopClient:
         svc = self.service
         ctrl = self.controller
         breaker = self.breaker
+        recorder = svc.recorder
+        last_admission: tuple | None = None
+
+        def _note_admission(now: float, queue_len: int) -> None:
+            # One trace point event whenever the admission picture
+            # changed: cumulative shed/reject/expiry counts + the queue
+            # depth at virtual time ``now``.  Recorder-on only — the
+            # counting scans are skipped entirely when untraced.
+            nonlocal last_admission
+            shed = int(np.count_nonzero(outcomes == SHED))
+            rejected = int(np.count_nonzero(outcomes == REJECTED))
+            expired = int(np.count_nonzero(outcomes == EXPIRED))
+            state = (shed, rejected, expired, queue_len)
+            if state == last_admission:
+                return
+            last_admission = state
+            recorder.vt = now
+            recorder.emit(
+                "admission",
+                epoch=max(svc.epochs_run - 1, 0),
+                queue=queue_len,
+                shed=shed,
+                rejected=rejected,
+                expired=expired,
+            )
+            svc.metrics().set_gauge("repro_queue_depth", queue_len)
+
         n = len(kinds)
         def _shard_map() -> np.ndarray:
             if svc.shards == 1:
@@ -489,6 +609,8 @@ class OpenLoopClient:
                 continue
             barr = np.asarray(batch, dtype=np.int64)
             start = now
+            if recorder is not None:
+                recorder.vt = start
             t0 = time.perf_counter()
             try:
                 run = svc.run(kinds[barr], keys[barr])
@@ -524,6 +646,10 @@ class OpenLoopClient:
             if breaker is not None:
                 for s in np.unique(shard_of[barr]).tolist():
                     breaker.record_success(int(s), now)
+            if recorder is not None:
+                _note_admission(now, len(queue))
+        if recorder is not None:
+            _note_admission(now, len(queue))
         return now
 
     def _next_batch(

@@ -444,9 +444,22 @@ class ShardBreakerBoard:
         self._opened_at = [0.0] * shards
         self.trips = 0
         self.recoveries = 0
+        #: Optional observer ``(shard, old_state, new_state, now)`` fired
+        #: on every state change (the open-loop client wires this to the
+        #: trace recorder's ``breaker`` events).  Purely observational:
+        #: the machine never reads it.
+        self.on_transition = None
 
     def state(self, shard: int) -> str:
         return self._state[shard]
+
+    def _transition(self, shard: int, new: str, now: float) -> None:
+        old = self._state[shard]
+        if old == new:
+            return
+        self._state[shard] = new
+        if self.on_transition is not None:
+            self.on_transition(shard, old, new, now)
 
     def blocked(self, shard: int, now: float) -> bool:
         """Is the shard quarantined at clock value ``now``?
@@ -459,7 +472,7 @@ class ShardBreakerBoard:
             # clock to exactly reopen_at(s) must see the probe admitted
             # (``now - opened >= cooldown`` can fail to that by one ulp).
             if now >= self._opened_at[shard] + self.cooldown:
-                self._state[shard] = BREAKER_HALF_OPEN
+                self._transition(shard, BREAKER_HALF_OPEN, now)
                 return False
             return True
         return False
@@ -471,20 +484,20 @@ class ShardBreakerBoard:
     def record_success(self, shard: int, now: float) -> None:
         if self._state[shard] == BREAKER_HALF_OPEN:
             self.recoveries += 1
-        self._state[shard] = BREAKER_CLOSED
+        self._transition(shard, BREAKER_CLOSED, now)
         self._failures[shard] = 0
 
     def record_failure(self, shard: int, now: float) -> None:
         if self._state[shard] == BREAKER_HALF_OPEN:
             # The probe failed: straight back to quarantine.
-            self._state[shard] = BREAKER_OPEN
             self._opened_at[shard] = now
+            self._transition(shard, BREAKER_OPEN, now)
             self.trips += 1
             return
         self._failures[shard] += 1
         if self._state[shard] == BREAKER_CLOSED and self._failures[shard] >= self.threshold:
-            self._state[shard] = BREAKER_OPEN
             self._opened_at[shard] = now
+            self._transition(shard, BREAKER_OPEN, now)
             self.trips += 1
 
     def any_open(self) -> bool:

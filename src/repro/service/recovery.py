@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..em.cache import CacheStats
+from ..obs import MetricsRegistry
 from ..tables.sharded import SlotDirectory
 from .journal import EpochJournal
 from .service import DictionaryService, make_executor
@@ -81,6 +82,8 @@ def snapshot_service(service: DictionaryService, path: str | Path) -> None:
         "keys_moved": service.keys_moved,
         "migration_io": service.migration_io,
         "migrations_applied": service.migrations_applied,
+        "metrics": service._metrics,
+        "setup_io": service.setup_io,
     }
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -149,6 +152,17 @@ def restore_service(
     svc.keys_moved = state.get("keys_moved", 0)
     svc.migration_io = state.get("migration_io", 0)
     svc.migrations_applied = state.get("migrations_applied", 0)
+    # Observability: the metrics registry rides the snapshot (older
+    # snapshots restore with a fresh one); trace recorders are handles,
+    # not state — a restored service starts untraced.
+    svc._metrics = state.get("metrics") or MetricsRegistry()
+    svc.setup_io = state.get("setup_io", 0)
+    svc.obs = None
+    svc.recorder = None
+    svc.metrics_listener = None
+    svc._run_seq = 0
+    svc._trace_base = svc.ops_committed
+    svc._journal_bytes_mark = 0
     return svc
 
 

@@ -41,13 +41,14 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-from ..core.config import RebalanceConfig
+from ..core.config import ObsConfig, RebalanceConfig
 from ..em.cache import CacheStats
 from ..em.errors import ConfigurationError, StorageFault
 from ..em.iostats import IOSnapshot, IOStats
 from ..em.storage import EMContext
 from ..hashing.base import HashFunction
 from ..hashing.family import MULTIPLY_SHIFT
+from ..obs import MetricsRegistry, TraceRecorder
 from ..tables.base import ExternalDictionary, LayoutSnapshot, TableStats
 from ..tables.batching import partition_positions
 from ..tables.rebalance import Rebalancer, SlotMove, apply_moves
@@ -257,6 +258,16 @@ class DictionaryService:
         journal (if attached) recording each migration write-ahead.
         ``None`` (the default) keeps the static router: bit-identical
         results, layouts and ledgers to every earlier release.
+    obs:
+        Observability (:mod:`repro.obs`): an
+        :class:`~repro.core.config.ObsConfig`, a prebuilt
+        :class:`~repro.obs.TraceRecorder` (bench harnesses that read
+        the records in memory), or ``None``.  Strictly relabelling —
+        ledgers, layouts and results are bit-identical with it on or
+        off.  The :class:`~repro.obs.MetricsRegistry` behind
+        :meth:`metrics` is always maintained (a handful of integer
+        folds per epoch); ``obs`` only controls span tracing and
+        periodic metric dumps.
     """
 
     def __init__(
@@ -272,6 +283,7 @@ class DictionaryService:
         journal: EpochJournal | None = None,
         slots: int | None = None,
         rebalance: Rebalancer | RebalanceConfig | bool | None = None,
+        obs: ObsConfig | TraceRecorder | None = None,
     ) -> None:
         if shards <= 0:
             raise ConfigurationError(f"shard count must be positive, got {shards}")
@@ -309,15 +321,52 @@ class DictionaryService:
             (cs.snapshot() if cs is not None else None)
             for cs in (sub.cache_stats() for sub in self._contexts)
         ]
+        #: Always-on cluster metrics; fed the same ledger deltas the
+        #: epoch-close merge folds, so it is executor-invariant and
+        #: rides the snapshot/restore path.  See :meth:`metrics`.
+        self._metrics = MetricsRegistry()
+        if isinstance(obs, TraceRecorder):
+            self.obs: ObsConfig | None = ObsConfig()
+            self.recorder: TraceRecorder | None = obs
+        elif isinstance(obs, ObsConfig):
+            self.obs = obs
+            self.recorder = (
+                TraceRecorder(obs.trace_path, wall=obs.wall_clock)
+                if obs.trace_path
+                else None
+            )
+        else:
+            self.obs = None
+            self.recorder = None
+        #: Callback ``(epochs_run, registry)`` fired every
+        #: ``obs.metrics_every`` closed epochs (the CLI's periodic
+        #: Prometheus dump); ``None`` disables.
+        self.metrics_listener = None
+        self._run_seq = 0
+        self._trace_base = 0
+        self._journal_bytes_mark = 0
         self._tables: list[ExternalDictionary] = [
             shard_factory(sub) for sub in self._contexts
         ]
         # Fold any I/O a factory charged at construction into the ledger
         # right away, so io_snapshot() always equals the sum of
         # shard_io_snapshots() (construction belongs to no epoch).
-        self._merge_ledgers()
+        self.setup_io = self._merge_ledgers()
         self.epochs_run = 0
         self.journal = journal
+        if self.recorder is not None:
+            describe = ctx.disk.describe() if ctx.disk is not None else {}
+            self.recorder.emit(
+                "run_start",
+                name=self.name,
+                shards=shards,
+                epoch_ops=epoch_ops,
+                slots=self.directory.slots,
+                executor=getattr(self.executor, "name", "?"),
+                combine_rmw=bool(ctx.policy.combine_rmw),
+                io=self.setup_io,
+                **describe,
+            )
         #: Global stream position of the last committed epoch's ``stop``
         #: — how far into the client's trace durable state extends.
         self.ops_committed = 0
@@ -349,6 +398,10 @@ class DictionaryService:
         # returning, so the committed position is also this call's
         # global stream offset.
         base = self.ops_committed
+        self._trace_base = base
+        run_seq = self._run_seq
+        self._run_seq += 1
+        t_run = time.perf_counter()
         for epoch in build_epochs(kinds, keys, max_ops=self.epoch_ops):
             idx = self.epochs_run
             if self.journal is not None:
@@ -362,10 +415,34 @@ class DictionaryService:
             reports.append(self._run_epoch(epoch, lookup_found, delete_removed))
             if self.journal is not None:
                 self.journal.commit(idx, base + epoch.start, base + epoch.stop)
+                self._fold_journal_metrics("commit")
+                if self.recorder is not None:
+                    self.recorder.emit(
+                        "fsync",
+                        kind="commit",
+                        epoch=idx,
+                        bytes=self.journal.bytes_written,
+                    )
             self.ops_committed = base + epoch.stop
             # Between epochs only: an epoch's program order is never
             # split by a migration.
             self._maybe_rebalance()
+            every = self.obs.metrics_every if self.obs is not None else 0
+            if (
+                every
+                and self.metrics_listener is not None
+                and self.epochs_run % every == 0
+            ):
+                self.metrics_listener(self.epochs_run, self._metrics)
+        if self.recorder is not None:
+            self.recorder.emit(
+                "run",
+                run=run_seq,
+                start=base,
+                stop=base + n,
+                epochs=len(reports),
+                wall_ms=round((time.perf_counter() - t_run) * 1e3, 3),
+            )
         return ServiceRun(
             ops=n,
             lookup_found=lookup_found,
@@ -395,6 +472,7 @@ class DictionaryService:
             )
         kinds = np.ascontiguousarray(kinds, dtype=np.uint8)
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        self._trace_base = start
         n = len(kinds)
         lookup_pos = np.flatnonzero(kinds == OP_LOOKUP)
         delete_pos = np.flatnonzero(kinds == OP_DELETE)
@@ -455,6 +533,16 @@ class DictionaryService:
             self._shard_thunk(self._tables[shard], work[shard], shard)
             for shard in shard_order
         ]
+        timings: list[float] | None = None
+        if self.recorder is not None:
+            # Wrap thunks with per-batch wall timing only when tracing —
+            # the obs-off hot path is untouched.  Each wrapper writes its
+            # own slot, so the timing is thread-safe under any executor.
+            timings = [0.0] * len(thunks)
+            thunks = [
+                self._timed_thunk(thunk, timings, j)
+                for j, thunk in enumerate(thunks)
+            ]
         try:
             results = self.executor.run(thunks)
         except StorageFault as exc:
@@ -470,8 +558,9 @@ class DictionaryService:
             if look_res is not None:
                 lookup_found[lpos] = look_res
         io = self._merge_ledgers()
+        idx = self.epochs_run
         self.epochs_run += 1
-        return EpochReport(
+        report = EpochReport(
             start=epoch.start,
             stop=epoch.stop,
             inserts=len(epoch.insert_keys),
@@ -480,6 +569,10 @@ class DictionaryService:
             seconds=time.perf_counter() - t0,
             io=io,
         )
+        self._fold_epoch_metrics(report)
+        if self.recorder is not None:
+            self._emit_epoch_span(report, idx, shard_order, timings)
+        return report
 
     @staticmethod
     def _shard_thunk(
@@ -540,23 +633,139 @@ class DictionaryService:
         """
         total = 0
         per_shard = []
+        deltas: list[IOSnapshot] = []
+        cache_delta = CacheStats()
+        metrics = self._metrics
         for i, sub in enumerate(self._contexts):
             delta = sub.stats.delta_since(self._marks[i])
             self._marks[i] = sub.stats.snapshot()
             self.ledger.absorb(delta)
             per_shard.append(delta.total)
+            deltas.append(delta)
             total += delta.total
+            if delta.total:
+                metrics.inc("repro_shard_io_total", delta.total, shard=str(i))
             mark = self._cache_marks[i]
             if mark is not None:
                 shard_cache = sub.cache_stats()
-                self.cache.absorb(shard_cache.delta_since(mark))
+                d = shard_cache.delta_since(mark)
+                self.cache.absorb(d)
+                cache_delta.absorb(d)
                 self._cache_marks[i] = shard_cache.snapshot()
+        metrics.inc("repro_io_reads_total", sum(d.reads for d in deltas))
+        metrics.inc("repro_io_writes_total", sum(d.writes for d in deltas))
+        metrics.inc("repro_io_combined_total", sum(d.combined for d in deltas))
+        metrics.inc(
+            "repro_io_allocations_total", sum(d.allocations for d in deltas)
+        )
+        for field, value in cache_delta.as_dict().items():
+            metrics.inc(f"repro_cache_{field}_total", value)
         # The per-shard split of the merge just folded — the epoch-close
         # load sample _maybe_rebalance observes.  Migration drains merge
         # through here too, so their charges never pollute the next
         # epoch's sample (they are read before the migration merges).
         self._last_epoch_shard_io = per_shard
+        # Full per-shard deltas + the cache delta of the same merge, for
+        # the trace's epoch span (relabelling: read, never re-charged).
+        self._last_epoch_shard_deltas = deltas
+        self._last_cache_delta = cache_delta
         return total
+
+    # -- observability -------------------------------------------------------
+
+    @staticmethod
+    def _timed_thunk(
+        thunk: Callable[[], tuple], timings: list[float], j: int
+    ) -> Callable[[], tuple]:
+        def timed() -> tuple:
+            t0 = time.perf_counter()
+            try:
+                return thunk()
+            finally:
+                timings[j] = time.perf_counter() - t0
+
+        return timed
+
+    def _fold_epoch_metrics(self, report: EpochReport) -> None:
+        """Fold one closed epoch into the metrics registry.
+
+        Only deterministic quantities: op counts, charged I/O, and the
+        epoch's shard imbalance.  No wall-time series, so two same-seed
+        runs — under any executor — produce equal registries.
+        """
+        metrics = self._metrics
+        metrics.inc("repro_epochs_total")
+        metrics.inc("repro_ops_total", report.inserts, kind="insert")
+        metrics.inc("repro_ops_total", report.lookups, kind="lookup")
+        metrics.inc("repro_ops_total", report.deletes, kind="delete")
+        metrics.observe("repro_epoch_io", report.io)
+        metrics.observe("repro_epoch_ops", report.stop - report.start)
+        shard_io = self._last_epoch_shard_io
+        total = sum(shard_io)
+        if total:
+            metrics.set_gauge(
+                "repro_epoch_imbalance", max(shard_io) * len(shard_io) / total
+            )
+
+    def _fold_journal_metrics(self, kind: str) -> None:
+        delta = self.journal.bytes_written - self._journal_bytes_mark
+        self._journal_bytes_mark = self.journal.bytes_written
+        self._metrics.inc(f"repro_journal_{kind}s_total")
+        self._metrics.inc("repro_journal_bytes_total", delta)
+
+    def _emit_epoch_span(
+        self,
+        report: EpochReport,
+        idx: int,
+        shard_order: list[int],
+        timings: list[float] | None,
+    ) -> None:
+        """One ``epoch`` span (shard batches embedded) + eviction events.
+
+        Emitted by the coordinator after the ledger merge, never from
+        worker threads, so record order is executor-invariant.
+        """
+        deltas = self._last_epoch_shard_deltas
+        shards = []
+        for j, shard in enumerate(shard_order):
+            d = deltas[shard]
+            batch = {"shard": shard, "io": d.total, **d.as_dict()}
+            if timings is not None:
+                batch["wall_ms"] = round(timings[j] * 1e3, 3)
+            shards.append(batch)
+        span = {
+            "run": self._run_seq - 1 if self._run_seq else 0,
+            "epoch": idx,
+            "start": self._trace_base + report.start,
+            "stop": self._trace_base + report.stop,
+            "ops": report.stop - report.start,
+            "inserts": report.inserts,
+            "lookups": report.lookups,
+            "deletes": report.deletes,
+            "io": report.io,
+            "wall_ms": round(report.seconds * 1e3, 3),
+            "shards": shards,
+        }
+        cache = self._last_cache_delta
+        if cache.accesses or cache.negative_hits or cache.evictions:
+            span["cache"] = cache.as_dict()
+        self.recorder.emit("epoch", **span)
+        if cache.evictions or cache.writebacks:
+            self.recorder.emit(
+                "cache_evict",
+                epoch=idx,
+                evictions=cache.evictions,
+                writebacks=cache.writebacks,
+            )
+
+    def metrics(self) -> MetricsRegistry:
+        """The cluster metrics registry (see :mod:`repro.obs.metrics`).
+
+        Always on; survives :func:`~repro.service.recovery.restore_service`
+        and counts on after a restore.  ``metrics().render()`` gives the
+        Prometheus text dump.
+        """
+        return self._metrics
 
     # -- rebalancing ---------------------------------------------------------
 
@@ -580,6 +789,14 @@ class DictionaryService:
                 self.ops_committed,
                 [(m.slot, m.src, m.dst) for m in moves],
             )
+            self._fold_journal_metrics("rebalance")
+            if self.recorder is not None:
+                self.recorder.emit(
+                    "fsync",
+                    kind="rebalance",
+                    migration=self.migrations_applied,
+                    bytes=self.journal.bytes_written,
+                )
         self._apply_moves(moves)
         self.rebalancer.note_moved(self.epochs_run, moves)
 
@@ -590,10 +807,27 @@ class DictionaryService:
         # ledger sees every drain I/O (no free moves), the per-shard
         # marks advance past it, and migration_io keeps the separate
         # tally reports surface.
-        self.migration_io += self._merge_ledgers()
+        io = self._merge_ledgers()
+        self.migration_io += io
         self.migrated_slots += report.slots_moved
         self.keys_moved += report.keys_moved
+        seq = self.migrations_applied
         self.migrations_applied += 1
+        metrics = self._metrics
+        metrics.inc("repro_migrations_total")
+        metrics.inc("repro_migrated_slots_total", report.slots_moved)
+        metrics.inc("repro_migration_keys_total", report.keys_moved)
+        metrics.inc("repro_migration_io_total", io)
+        if self.recorder is not None:
+            self.recorder.emit(
+                "rebalance",
+                migration=seq,
+                epoch=max(self.epochs_run - 1, 0),
+                moves=len(moves),
+                slots_moved=report.slots_moved,
+                keys_moved=report.keys_moved,
+                io=io,
+            )
 
     def apply_rebalance_record(
         self, seq: int, moves: Sequence[tuple[int, int, int]]
@@ -702,8 +936,10 @@ class DictionaryService:
             table.check_invariants()
 
     def close(self) -> None:
-        """Release executor resources (idempotent)."""
+        """Release executor + trace-file resources (idempotent)."""
         self.executor.close()
+        if self.recorder is not None:
+            self.recorder.close()
 
     def __enter__(self) -> "DictionaryService":
         return self

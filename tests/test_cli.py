@@ -169,3 +169,62 @@ class TestRecover:
     def test_recover_missing_snapshot(self, tmp_path, capsys):
         assert main(["recover", "--snapshot", str(tmp_path / "nope.pkl")]) == 2
         assert "recover:" in capsys.readouterr().err
+
+
+class TestObservability:
+    ARGS = ["serve", "--b", "32", "--m", "256", "--n", "600", "--window", "200",
+            "--epoch-ops", "128"]
+
+    def _trace(self, tmp_path, capsys):
+        path = str(tmp_path / "t.jsonl")
+        assert main(self.ARGS + ["--trace", path]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and path in out
+        return path
+
+    def test_serve_trace_then_summary(self, tmp_path, capsys):
+        path = self._trace(tmp_path, capsys)
+        assert main(["trace-summary", path]) == 0
+        out = capsys.readouterr().out
+        assert "epoch" in out and "io/op" in out
+        assert "slowest" in out
+        assert "charged I/Os attributed" in out
+
+    def test_trace_summary_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_bytes(b"this is not a trace\n")
+        assert main(["trace-summary", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "trace-summary:" in err and "Traceback" not in err
+
+    def test_trace_summary_missing_file(self, tmp_path, capsys):
+        assert main(["trace-summary", str(tmp_path / "nope.jsonl")]) == 2
+        assert "trace-summary:" in capsys.readouterr().err
+
+    def test_trace_summary_torn_tail(self, tmp_path, capsys):
+        path = self._trace(tmp_path, capsys)
+        with open(path, "ab") as fh:
+            fh.write(b"00000000 {torn")
+        assert main(["trace-summary", path]) == 2
+        err = capsys.readouterr().err
+        assert "--torn-ok" in err
+        assert main(["trace-summary", path, "--torn-ok"]) == 0
+        out = capsys.readouterr().out
+        assert "charged I/Os attributed" in out
+
+    def test_trace_summary_top_must_be_positive(self, tmp_path, capsys):
+        path = self._trace(tmp_path, capsys)
+        assert main(["trace-summary", path, "--top", "0"]) == 2
+        assert "--top must be positive" in capsys.readouterr().err
+
+    def test_serve_metrics_every(self, capsys):
+        assert main(self.ARGS + ["--metrics-every", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "-- metrics @ epoch 2 --" in out
+        assert "# TYPE repro_epochs_total counter" in out
+        assert "-- metrics @ end" in out
+
+    def test_metrics_every_must_be_non_negative(self, capsys):
+        assert main(self.ARGS + ["--metrics-every", "-1"]) == 2
+        err = capsys.readouterr().err
+        assert "serve:" in err and "Traceback" not in err
